@@ -1,0 +1,315 @@
+// Command mongebench regenerates the paper's tables and application
+// results on the simulated machines, printing measured parallel time,
+// processor counts, and work next to the claimed asymptotic bounds.
+//
+// Usage:
+//
+//	mongebench [-exp all|t11|t12|t13|fig11|app1|app2|app3|app4] [-maxn 2048] [-seed 1]
+//
+// Each row reports the charged time of the simulated machine at a ladder
+// of sizes plus the "shape ratio" time/bound(n), which should stay roughly
+// flat when the measured growth matches the claimed bound. See
+// EXPERIMENTS.md for the recorded runs and deviations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"monge/internal/core"
+	"monge/internal/geom"
+	"monge/internal/hcmonge"
+	hc "monge/internal/hypercube"
+	"monge/internal/marray"
+	"monge/internal/pram"
+	"monge/internal/rect"
+	"monge/internal/stredit"
+)
+
+var (
+	expFlag = flag.String("exp", "all", "experiment: all, t11, t12, t13, fig11, app1, app2, app3, app4")
+	maxN    = flag.Int("maxn", 2048, "largest problem size in the ladder")
+	seed    = flag.Int64("seed", 1, "workload seed")
+)
+
+func main() {
+	flag.Parse()
+	ok := false
+	run := func(name string, f func()) {
+		if *expFlag == "all" || *expFlag == name {
+			f()
+			ok = true
+		}
+	}
+	run("t11", table11)
+	run("t12", table12)
+	run("t13", table13)
+	run("fig11", figure11)
+	run("app1", app1)
+	run("app2", app2)
+	run("app3", app3)
+	run("app4", app4)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+		os.Exit(2)
+	}
+}
+
+func sizes(limit int) []int {
+	var out []int
+	for n := 128; n <= limit; n *= 2 {
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		out = []int{limit}
+	}
+	return out
+}
+
+func lg(n int) float64 { return float64(pram.Log2Ceil(n)) }
+
+func header(title, claim string) {
+	fmt.Printf("\n== %s ==\n   paper claim: %s\n", title, claim)
+	fmt.Printf("%8s %12s %12s %14s %12s\n", "n", "time", "procs", "work", "time/bound")
+}
+
+func table11() {
+	rng := rand.New(rand.NewSource(*seed))
+	header("Table 1.1 row 1: CRCW row maxima, n x n Monge", "O(lg n) time, n processors")
+	for _, n := range sizes(*maxN) {
+		a := marray.RandomMonge(rng, n, n)
+		mach := pram.New(pram.CRCW, n)
+		core.MongeRowMaxima(mach, a)
+		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Procs(), mach.Work(), float64(mach.Time())/lg(n))
+	}
+	header("Table 1.1 row 2: CREW row maxima, n x n Monge", "O(lg n lglg n) time, n/lglg n processors")
+	for _, n := range sizes(*maxN) {
+		a := marray.RandomMonge(rng, n, n)
+		p := n / pram.LogLog2Ceil(n)
+		mach := pram.New(pram.CREW, p)
+		core.MongeRowMaxima(mach, a)
+		bound := lg(n) * float64(pram.LogLog2Ceil(n))
+		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), p, mach.Work(), float64(mach.Time())/bound)
+	}
+	header("Table 1.1 row 3: hypercube / CCC / shuffle-exchange row maxima (Thm 3.2)",
+		"O(lg n lglg n) time, n/lglg n processors (we size machines at O(n); time is the reproduced claim)")
+	for _, kind := range []hc.Kind{hc.Cube, hc.CCC, hc.Shuffle} {
+		for _, n := range sizes(min(*maxN, 1024)) {
+			a := marray.RandomMonge(rng, n, n)
+			v, w := idxVec(n), idxVec(n)
+			_, mach := hcmonge.MongeRowMaxima(kind, v, w, func(i, j int) float64 { return a.At(i, j) })
+			bound := lg(n) * float64(pram.LogLog2Ceil(n))
+			fmt.Printf("%8d %12d %12d %14d %12.1f  (%s)\n", n, mach.Time(), mach.Size(), mach.Work(),
+				float64(mach.Time())/bound, kind)
+		}
+	}
+}
+
+func idxVec(n int) []int {
+	v := make([]int, n)
+	for i := range v {
+		v[i] = i
+	}
+	return v
+}
+
+func table12() {
+	rng := rand.New(rand.NewSource(*seed))
+	header("Table 1.2 row 1: CRCW staircase row minima (Thm 2.3)", "O(lg n) time, n processors")
+	for _, n := range sizes(*maxN) {
+		a := marray.RandomStaircaseMonge(rng, n, n)
+		mach := pram.New(pram.CRCW, n)
+		core.StaircaseRowMinima(mach, a)
+		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), n, mach.Work(), float64(mach.Time())/lg(n))
+	}
+	header("Table 1.2 row 2: CREW staircase row minima (Thm 2.3)", "O(lg n lglg n) time, n/lglg n processors")
+	for _, n := range sizes(*maxN) {
+		a := marray.RandomStaircaseMonge(rng, n, n)
+		p := n / pram.LogLog2Ceil(n)
+		mach := pram.New(pram.CREW, p)
+		core.StaircaseRowMinima(mach, a)
+		bound := lg(n) * float64(pram.LogLog2Ceil(n))
+		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), p, mach.Work(), float64(mach.Time())/bound)
+	}
+	header("Table 1.2 row 3: hypercube staircase row minima (Thm 3.3)",
+		"O(lg n lglg n) time (proof omitted in the paper; see EXPERIMENTS.md)")
+	for _, n := range sizes(min(*maxN, 1024)) {
+		a := marray.RandomStaircaseMonge(rng, n, n)
+		bounds := make([]int, n)
+		for i := 0; i < n; i++ {
+			bounds[i] = marray.BoundaryOf(a, i)
+		}
+		v, w := idxVec(n), idxVec(n)
+		_, mach := hcmonge.StaircaseRowMinima(hc.Cube, v, bounds, w, func(i, j int) float64 { return a.At(i, j) })
+		bound := lg(n) * float64(pram.LogLog2Ceil(n))
+		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Size(), mach.Work(),
+			float64(mach.Time())/bound)
+	}
+}
+
+func table13() {
+	rng := rand.New(rand.NewSource(*seed))
+	limit := min(*maxN, 256)
+	header("Table 1.3 row 1: CRCW tube maxima",
+		"Theta(lglg n) time, n^2/lglg n procs [Ata89] -- our substitute measures O(lg n); deviation documented")
+	for _, n := range sizes(limit) {
+		c := marray.RandomComposite(rng, n, n, n)
+		mach := pram.New(pram.CRCW, 2*n*n)
+		core.TubeMaxima(mach, c)
+		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), 2*n*n, mach.Work(), float64(mach.Time())/lg(n))
+	}
+	header("Table 1.3 row 2: CREW tube maxima", "Theta(lg n) time, n^2/lg n processors (ours: n*(q+r) groups)")
+	for _, n := range sizes(limit) {
+		c := marray.RandomComposite(rng, n, n, n)
+		mach := pram.New(pram.CREW, 2*n*n)
+		core.TubeMaxima(mach, c)
+		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), 2*n*n, mach.Work(), float64(mach.Time())/lg(n))
+	}
+	header("Table 1.3 row 3: hypercube tube maxima (Thm 3.4)", "Theta(lg n) time, n^2 processors")
+	for _, n := range sizes(min(limit, 128)) {
+		c := marray.RandomComposite(rng, n, n, n)
+		_, _, mach := hcmonge.TubeMaxima(hc.Cube, c)
+		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Size(), mach.Work(), float64(mach.Time())/lg(n))
+	}
+}
+
+func figure11() {
+	rng := rand.New(rand.NewSource(*seed))
+	header("Figure 1.1: all-farthest neighbors across a split convex polygon",
+		"Theta(m+n) sequential via row maxima; O(lg n) CRCW")
+	for _, n := range sizes(*maxN) {
+		p, q := marray.ConvexChainPair(rng, n, n)
+		start := time.Now()
+		smawkIdx := geom.AllFarthestNeighbors(p, q)
+		seqT := time.Since(start)
+		start = time.Now()
+		bruteIdx := geom.AllFarthestNeighborsBrute(p, q)
+		bruteT := time.Since(start)
+		agree := 0
+		for i := range smawkIdx {
+			if smawkIdx[i] == bruteIdx[i] {
+				agree++
+			}
+		}
+		mach := pram.New(pram.CRCW, 2*n)
+		geom.AllFarthestNeighborsPRAM(mach, p, q)
+		fmt.Printf("%8d  smawk %10v  brute %10v  speedup %6.1fx  CRCW time %5d (t/lg n %.1f)  agree %d/%d\n",
+			n, seqT, bruteT, float64(bruteT)/float64(seqT), mach.Time(), float64(mach.Time())/lg(n), agree, n)
+	}
+}
+
+func app1() {
+	rng := rand.New(rand.NewSource(*seed))
+	header("Application 1: largest empty rectangle",
+		"paper: O(lg^2 n) CRCW with n lg n procs; ours: exact O(n^2) sequential + O(lg n) anchored families via ANSV")
+	bounds := rect.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000}
+	for _, n := range sizes(min(*maxN, 1024)) {
+		pts := make([]rect.Point, n)
+		for i := range pts {
+			pts[i] = rect.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		}
+		start := time.Now()
+		full := rect.LargestEmptyRect(pts, bounds)
+		seqT := time.Since(start)
+		mach := pram.New(pram.CRCW, n)
+		anch := rect.LargestAnchoredRect(mach, pts, bounds)
+		fmt.Printf("%8d  exact area %12.1f (%8v)   anchored area %12.1f  CRCW time %5d (t/lg n %.1f)\n",
+			n, full.Area(), seqT, anch.Area(), mach.Time(), float64(mach.Time())/lg(n))
+	}
+}
+
+func app2() {
+	rng := rand.New(rand.NewSource(*seed))
+	header("Application 2: largest-area two-corner rectangle (Melville)",
+		"Theta(lg n) CRCW time, n processors")
+	for _, n := range sizes(*maxN) {
+		pts := make([]rect.Point, n)
+		for i := range pts {
+			pts[i] = rect.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		}
+		start := time.Now()
+		area, _, _ := rect.MaxCornerRect(pts)
+		seqT := time.Since(start)
+		mach := pram.New(pram.CRCW, n)
+		parea, _, _ := rect.MaxCornerRectPRAM(mach, pts)
+		match := "ok"
+		if area != parea {
+			match = "MISMATCH"
+		}
+		fmt.Printf("%8d  area %14.1f  seq %10v  CRCW time %5d (t/lg n %5.1f)  %s\n",
+			n, area, seqT, mach.Time(), float64(mach.Time())/lg(n), match)
+	}
+}
+
+func app3() {
+	rng := rand.New(rand.NewSource(*seed))
+	header("Application 3: nearest/farthest (in)visible neighbors",
+		"O(lg(m+n)) CRCW; invisible cases via staircase-Monge row minima (Thm 2.3)")
+	for _, n := range sizes(min(*maxN, 1024)) {
+		p, q, ob := geom.ObstructedChains(rng, n, n)
+		obs := []geom.Polygon{ob}
+		for _, kind := range []geom.NeighborKind{geom.NearestInvisible, geom.FarthestInvisible} {
+			mach := pram.New(pram.CRCW, 2*n)
+			res := geom.Neighbors(kind, mach, p, q, obs)
+			fmt.Printf("%8d  %-19s CRCW time %6d (t/lg n %6.1f)  staircase rows %5d, fallback %4d\n",
+				n, kind, mach.Time(), float64(mach.Time())/lg(n), res.StaircaseRows, res.FallbackRows)
+		}
+	}
+}
+
+func app4() {
+	rng := rand.New(rand.NewSource(*seed))
+	header("Application 4: string editing",
+		"O(lg n lg m) time, nm-processor hypercube (vs wavefront baseline O(n+m))")
+	c := stredit.UnitCosts()
+	alphabet := 4
+	for _, n := range sizes(min(*maxN, 256)) {
+		x := randStr(rng, n, alphabet)
+		y := randStr(rng, n, alphabet)
+		start := time.Now()
+		want := stredit.Distance(x, y, c)
+		dpT := time.Since(start)
+		m1 := pram.New(pram.CRCW, n*n)
+		got := stredit.DistancePRAM(m1, x, y, c)
+		m2 := pram.New(pram.CRCW, n*n)
+		stredit.DistanceWavefront(m2, x, y, c)
+		match := "ok"
+		if got != want {
+			match = "MISMATCH"
+		}
+		bound := lg(n) * lg(n)
+		fmt.Printf("%8d  dist %6.0f  DP %8v  monge PRAM time %7d (t/lg^2 %5.1f)  wavefront time %7d  %s\n",
+			n, want, dpT, m1.Time(), float64(m1.Time())/bound, m2.Time(), match)
+	}
+	fmt.Println("   hypercube engine (Theorem 3.4 machinery):")
+	for _, n := range sizes(min(*maxN, 64)) {
+		x := randStr(rng, n, alphabet)
+		y := randStr(rng, n, alphabet)
+		d, rep := stredit.DistanceHypercube(hc.Cube, x, y, c)
+		want := stredit.Distance(x, y, c)
+		match := "ok"
+		if d != want {
+			match = "MISMATCH"
+		}
+		fmt.Printf("%8d  dist %6.0f  hypercube time %8d (t/lg^2 %6.1f)  %s\n",
+			n, d, rep.Time, float64(rep.Time)/(lg(n)*lg(n)), match)
+	}
+}
+
+func randStr(rng *rand.Rand, n, alpha int) string {
+	b := make([]rune, n)
+	for i := range b {
+		b[i] = rune('a' + rng.Intn(alpha))
+	}
+	return string(b)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

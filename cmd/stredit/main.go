@@ -1,0 +1,74 @@
+// Command stredit computes edit distances with the repository's engines.
+//
+// Usage:
+//
+//	stredit [-engine dp|griddag|pram|wavefront|hypercube] [-script] SOURCE TARGET
+//
+// The dp engine is the Wagner-Fischer baseline; griddag runs the
+// sequential strip-combination reduction; pram and hypercube run the
+// parallel Monge engines on the simulated machines and report the charged
+// step counts; wavefront runs the anti-diagonal parallel baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hc "monge/internal/hypercube"
+	"monge/internal/pram"
+	"monge/internal/stredit"
+)
+
+var (
+	engine = flag.String("engine", "dp", "dp, griddag, pram, wavefront, or hypercube")
+	script = flag.Bool("script", false, "print an optimal edit script (dp engine)")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: stredit [-engine dp|griddag|pram|wavefront|hypercube] [-script] SOURCE TARGET")
+		os.Exit(2)
+	}
+	x, y := flag.Arg(0), flag.Arg(1)
+	c := stredit.UnitCosts()
+	switch *engine {
+	case "dp":
+		if *script {
+			d, ops := stredit.DistanceWithScript(x, y, c)
+			fmt.Printf("distance: %g\n", d)
+			for _, op := range ops {
+				switch op.Kind {
+				case "del":
+					fmt.Printf("  delete %q\n", op.X)
+				case "ins":
+					fmt.Printf("  insert %q\n", op.Y)
+				case "sub":
+					fmt.Printf("  substitute %q -> %q\n", op.X, op.Y)
+				default:
+					fmt.Printf("  keep %q\n", op.X)
+				}
+			}
+			return
+		}
+		fmt.Printf("distance: %g\n", stredit.Distance(x, y, c))
+	case "griddag":
+		fmt.Printf("distance: %g\n", stredit.DistanceGridDAG(x, y, c))
+	case "pram":
+		mach := pram.New(pram.CRCW, len(x)*len(y)+1)
+		d := stredit.DistancePRAM(mach, x, y, c)
+		fmt.Printf("distance: %g\nparallel time: %d steps, work: %d (CRCW, %d processors)\n",
+			d, mach.Time(), mach.Work(), mach.Procs())
+	case "wavefront":
+		mach := pram.New(pram.CRCW, len(x)+len(y)+1)
+		d := stredit.DistanceWavefront(mach, x, y, c)
+		fmt.Printf("distance: %g\nparallel time: %d steps (wavefront baseline)\n", d, mach.Time())
+	case "hypercube":
+		d, rep := stredit.DistanceHypercube(hc.Cube, x, y, c)
+		fmt.Printf("distance: %g\nhypercube time: %d steps, %d values exchanged\n", d, rep.Time, rep.Comm)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+}

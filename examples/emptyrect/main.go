@@ -1,0 +1,34 @@
+// Application 1: largest empty rectangle among random points, solved
+// exactly by the classical O(n^2) scan and compared to the O(lg n)-step
+// parallel boundary-anchored solver built on All Nearest Smaller Values.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"monge/internal/pram"
+	"monge/internal/rect"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	bounds := rect.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100}
+	n := 40
+	pts := make([]rect.Point, n)
+	for i := range pts {
+		pts[i] = rect.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+
+	best := rect.LargestEmptyRect(pts, bounds)
+	fmt.Printf("largest empty rectangle: [%.2f, %.2f] x [%.2f, %.2f], area %.2f\n",
+		best.X0, best.X1, best.Y0, best.Y1, best.Area())
+
+	mach := pram.New(pram.CRCW, n)
+	anch := rect.LargestAnchoredRect(mach, pts, bounds)
+	fmt.Printf("largest boundary-anchored rectangle: area %.2f (parallel time %d steps)\n",
+		anch.Area(), mach.Time())
+	if anch.Area() == best.Area() {
+		fmt.Println("the anchored family realises the global optimum on this input")
+	}
+}

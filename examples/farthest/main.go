@@ -1,0 +1,42 @@
+// Figure 1.1 of the paper: split a convex polygon into two chains P and Q;
+// the chain-to-chain distance array is inverse-Monge by the quadrangle
+// inequality, so all-farthest neighbors take Theta(m+n) sequential time
+// (instead of the obvious O(mn)) and O(lg n) simulated CRCW time.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"monge/internal/geom"
+	"monge/internal/marray"
+	"monge/internal/pram"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	m, n := 10, 12
+	p, q := marray.ConvexChainPair(rng, m, n)
+
+	fmt.Println("inverse-Monge distance array:",
+		marray.IsInverseMonge(marray.ChainDistanceMatrix(p, q)))
+
+	far := geom.AllFarthestNeighbors(p, q)
+	fmt.Println("farthest vertex of Q for each vertex of P (SMAWK):")
+	for i, j := range far {
+		fmt.Printf("  p[%2d] -> q[%2d]  distance %.2f\n", i, j, marray.Dist(p[i], q[j]))
+	}
+
+	brute := geom.AllFarthestNeighborsBrute(p, q)
+	agree := 0
+	for i := range far {
+		if far[i] == brute[i] {
+			agree++
+		}
+	}
+	fmt.Printf("agreement with brute force: %d/%d\n", agree, m)
+
+	mach := pram.New(pram.CRCW, m+n)
+	geom.AllFarthestNeighborsPRAM(mach, p, q)
+	fmt.Printf("CRCW PRAM time: %d steps with %d processors\n", mach.Time(), mach.Procs())
+}

@@ -1,0 +1,33 @@
+// The economic lot-size model [AP90]: production planning with setup and
+// holding costs is a least-weight subsequence problem over a Monge weight
+// matrix, solved in O(n lg n) by the concave-LWS machinery.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"monge/internal/dp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	n := 12
+	demand := make([]float64, n)
+	setup := make([]float64, n)
+	hold := make([]float64, n)
+	for t := 0; t < n; t++ {
+		demand[t] = float64(5 + rng.Intn(30))
+		setup[t] = float64(40 + rng.Intn(60))
+		hold[t] = 0.5 + rng.Float64()
+	}
+
+	plan := dp.LotSize(demand, setup, hold)
+	fmt.Printf("demands: %v\n", demand)
+	fmt.Printf("optimal cost: %.2f\n", plan.Cost)
+	fmt.Printf("production runs in periods: %v\n", plan.Orders)
+
+	ref := dp.LotSizeBrute(demand, setup, hold)
+	fmt.Printf("O(n^2) Wagner-Whitin reference agrees: %v (%.2f)\n",
+		plan.Cost == ref.Cost, ref.Cost)
+}

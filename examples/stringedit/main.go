@@ -1,0 +1,41 @@
+// Application 4: string editing through the grid-DAG Monge machinery,
+// compared against Wagner-Fischer and the wavefront parallel baseline.
+package main
+
+import (
+	"fmt"
+
+	hc "monge/internal/hypercube"
+	"monge/internal/pram"
+	"monge/internal/stredit"
+)
+
+func main() {
+	x, y := "kitten", "sitting"
+	c := stredit.UnitCosts()
+
+	d, ops := stredit.DistanceWithScript(x, y, c)
+	fmt.Printf("edit distance %q -> %q: %g\n", x, y, d)
+	for _, op := range ops {
+		switch op.Kind {
+		case "del":
+			fmt.Printf("  delete %q\n", op.X)
+		case "ins":
+			fmt.Printf("  insert %q\n", op.Y)
+		case "sub":
+			fmt.Printf("  substitute %q -> %q\n", op.X, op.Y)
+		default:
+			fmt.Printf("  keep %q\n", op.X)
+		}
+	}
+
+	m1 := pram.New(pram.CRCW, len(x)*len(y))
+	dm := stredit.DistancePRAM(m1, x, y, c)
+	m2 := pram.New(pram.CRCW, len(x)*len(y))
+	dw := stredit.DistanceWavefront(m2, x, y, c)
+	fmt.Printf("\nMonge grid-DAG engine: distance %g in %d parallel steps\n", dm, m1.Time())
+	fmt.Printf("wavefront baseline:    distance %g in %d parallel steps\n", dw, m2.Time())
+
+	dh, rep := stredit.DistanceHypercube(hc.Cube, x, y, c)
+	fmt.Printf("hypercube engine:      distance %g in %d charged steps\n", dh, rep.Time)
+}

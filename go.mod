@@ -1,0 +1,3 @@
+module monge
+
+go 1.22

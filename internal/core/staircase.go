@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math"
+
+	"monge/internal/marray"
+	"monge/internal/pram"
+)
+
+// StaircaseRowMinima computes, for each row of the staircase-Monge array a,
+// the column of its leftmost finite minimum (-1 for fully blocked rows), on
+// the given machine. This is Theorem 2.3 of the paper: on a CRCW machine
+// with n processors the measured time is O(lg n) for an n x n array; on a
+// CREW machine declaring n / lg lg n processors it runs within the
+// O(lg n lg lg n) bound of Table 1.2.
+//
+// The algorithm samples every sqrt(k)-th row, solves the sampled staircase
+// subarray recursively, and classifies the remaining rows' candidate
+// columns into the two feasible-region classes of Figure 2.2: fully finite
+// Monge rectangles between consecutive sampled minima (searched by the
+// plain Monge recursion of RowMinima) and staircase tail regions beyond the
+// next sampled row's boundary (solved recursively). Rows whose own
+// boundary has crossed left of the upper sampled minimum ("bracketed"
+// regions, identified in the paper via the ANSV relation) reopen a left
+// window and also recurse. All regions of one level are searched by
+// parallel processor groups whose sizes telescope to O(m + n).
+func StaircaseRowMinima(mach *pram.Machine, a marray.Matrix) []int {
+	m, n := a.Rows(), a.Cols()
+	out := make([]int, m)
+	if m == 0 || n == 0 {
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	// Row boundaries: one superstep of m processors; binary search inside
+	// the body costs lg n unless the matrix carries its boundary function.
+	f := make([]int, m)
+	if st, ok := a.(marray.Staircase); ok {
+		mach.Step(m, func(id int) { f[id] = st.Boundary(id) })
+	} else {
+		mach.StepCost(m, pram.Log2Ceil(n)+1, func(id int) {
+			f[id] = marray.BoundaryOf(a, id)
+		})
+	}
+	s := &stairSearcher{a: a, f: f}
+	rows := make([]int, m)
+	for i := range rows {
+		rows[i] = i
+	}
+	res := s.solve(mach, rows, 0, n)
+	for i := range rows {
+		out[i] = res[i].col
+	}
+	return out
+}
+
+// stairCand is a window-local answer: leftmost minimising column within
+// the window (or -1) and its value.
+type stairCand struct {
+	col int
+	val float64
+}
+
+func worstStair() stairCand { return stairCand{col: -1, val: math.Inf(1)} }
+
+func (x stairCand) better(y stairCand) bool {
+	if x.col == -1 {
+		return false
+	}
+	if y.col == -1 {
+		return true
+	}
+	if x.val != y.val {
+		return x.val < y.val
+	}
+	return x.col < y.col
+}
+
+type stairSearcher struct {
+	a marray.Matrix
+	f []int // first blocked column per global row
+}
+
+func (s *stairSearcher) eff(r, c1 int) int {
+	if s.f[r] < c1 {
+		return s.f[r]
+	}
+	return c1
+}
+
+// solve returns window-local minima of the given global rows over columns
+// [c0, c1).
+func (s *stairSearcher) solve(mach *pram.Machine, rows []int, c0, c1 int) []stairCand {
+	res := make([]stairCand, len(rows))
+	for i := range res {
+		res[i] = worstStair()
+	}
+	if len(rows) == 0 || c0 >= c1 {
+		return res
+	}
+	if len(rows) <= 2 || c1-c0 <= 4 {
+		s.baseScan(mach, rows, c0, c1, res)
+		return res
+	}
+
+	step := isqrt(len(rows))
+	if step < 2 {
+		step = 2
+	}
+	var sampledPos []int
+	for p := step - 1; p < len(rows); p += step {
+		sampledPos = append(sampledPos, p)
+	}
+	sampledRows := make([]int, len(sampledPos))
+	for i, p := range sampledPos {
+		sampledRows[i] = rows[p]
+	}
+	mach.Step(len(sampledPos), func(int) {}) // B^t row extraction
+	sres := s.solve(mach, sampledRows, c0, c1)
+	for i, p := range sampledPos {
+		res[p] = sres[i]
+	}
+
+	// Gap descriptors (one per unsampled run, as in the plain Monge
+	// recursion). Each gap then fans out into up to three feasible-region
+	// searches executed by parallel processor groups.
+	type gapDesc struct {
+		start, end int // positions within rows, [start, end)
+		g          int // index of the sampled row below (== len => none)
+	}
+	var gaps []gapDesc
+	procs := []int{}
+	gapStart := 0
+	for g := 0; g <= len(sampledPos); g++ {
+		gapEnd := len(rows)
+		if g < len(sampledPos) {
+			gapEnd = sampledPos[g]
+		}
+		if gapStart < gapEnd {
+			gaps = append(gaps, gapDesc{start: gapStart, end: gapEnd, g: g})
+			width := 0
+			if g < len(sampledPos) && sres[g].col >= 0 {
+				lo := c0
+				if g > 0 && sres[g-1].col >= 0 {
+					lo = sres[g-1].col
+				}
+				width = sres[g].col - lo + 1
+			} else {
+				width = c1 - c0
+			}
+			procs = append(procs, (gapEnd-gapStart)+width)
+		}
+		if g < len(sampledPos) {
+			gapStart = sampledPos[g] + 1
+		}
+	}
+
+	results := make([][]stairCand, len(gaps))
+	mach.ParallelDo(procs, func(b int, sub *pram.Machine) {
+		results[b] = s.solveGap(sub, rows, gaps[b].start, gaps[b].end, gaps[b].g, sampledPos, sres, c0, c1)
+	})
+	for b, gp := range gaps {
+		for i := gp.start; i < gp.end; i++ {
+			if results[b][i-gp.start].better(res[i]) {
+				res[i] = results[b][i-gp.start]
+			}
+		}
+	}
+	return res
+}
+
+// solveGap computes window-local minima for the gap rows at positions
+// [gapStart, gapEnd) of rows, given the sampled answers bracketing the gap.
+func (s *stairSearcher) solveGap(mach *pram.Machine, rows []int, gapStart, gapEnd, g int, sampledPos []int, sres []stairCand, c0, c1 int) []stairCand {
+	k := gapEnd - gapStart
+	res := make([]stairCand, k)
+	for i := range res {
+		res[i] = worstStair()
+	}
+	lb := c0
+	if g > 0 && sres[g-1].col >= 0 {
+		lb = sres[g-1].col
+	}
+	haveBelow := g < len(sampledPos) && sres[g].col >= 0
+	var cq, effq int
+	if haveBelow {
+		cq = sres[g].col
+		effq = s.eff(rows[sampledPos[g]], c1)
+	}
+
+	// Clean rows (boundary still right of lb) form a prefix of the gap;
+	// crossed rows a suffix, because boundaries are nonincreasing.
+	mach.Step(k, func(int) {}) // classification step
+	var cleanPos, crossedPos []int
+	for p := gapStart; p < gapEnd; p++ {
+		r := rows[p]
+		if s.eff(r, c1) <= c0 {
+			continue
+		}
+		if s.eff(r, c1) > lb {
+			cleanPos = append(cleanPos, p)
+		} else {
+			crossedPos = append(crossedPos, p)
+		}
+	}
+
+	merge := func(pos []int, sub []stairCand) {
+		for i, p := range pos {
+			if sub[i].better(res[p-gapStart]) {
+				res[p-gapStart] = sub[i]
+			}
+		}
+	}
+
+	type job struct {
+		kind     int // 0 = Monge rectangle, 1 = recurse window
+		pos      []int
+		jLo, jHi int // kind 0: inclusive cols; kind 1: [jLo, jHi) window
+	}
+	var jobs []job
+	var procs []int
+	if haveBelow {
+		if len(cleanPos) > 0 && lb <= cq {
+			jobs = append(jobs, job{kind: 0, pos: cleanPos, jLo: lb, jHi: cq})
+			procs = append(procs, len(cleanPos)+(cq-lb+1))
+		}
+		if effq < c1 {
+			all := append(append([]int(nil), cleanPos...), crossedPos...)
+			if len(all) > 0 {
+				jobs = append(jobs, job{kind: 1, pos: all, jLo: effq, jHi: c1})
+				procs = append(procs, len(all)+(c1-effq))
+			}
+		}
+		if len(crossedPos) > 0 {
+			hi := cq + 1
+			if hi > c1 {
+				hi = c1
+			}
+			jobs = append(jobs, job{kind: 1, pos: crossedPos, jLo: c0, jHi: hi})
+			procs = append(procs, len(crossedPos)+(hi-c0))
+		}
+	} else {
+		if len(cleanPos) > 0 {
+			jobs = append(jobs, job{kind: 1, pos: cleanPos, jLo: lb, jHi: c1})
+			procs = append(procs, len(cleanPos)+(c1-lb))
+		}
+		if len(crossedPos) > 0 {
+			jobs = append(jobs, job{kind: 1, pos: crossedPos, jLo: c0, jHi: c1})
+			procs = append(procs, len(crossedPos)+(c1-c0))
+		}
+	}
+
+	subResults := make([][]stairCand, len(jobs))
+	mach.ParallelDo(procs, func(b int, sub *pram.Machine) {
+		jb := jobs[b]
+		if jb.kind == 0 {
+			subResults[b] = s.mongeRegion(sub, rows, jb.pos, jb.jLo, jb.jHi)
+			return
+		}
+		subRows := make([]int, len(jb.pos))
+		for i, p := range jb.pos {
+			subRows[i] = rows[p]
+		}
+		subResults[b] = s.solve(sub, subRows, jb.jLo, jb.jHi)
+	})
+	mach.Step(k, func(int) {}) // merge step
+	for b, jb := range jobs {
+		merge(jb.pos, subResults[b])
+	}
+	return res
+}
+
+// mongeRegion searches the fully finite rectangle (rows at positions pos) x
+// (columns [jLo, jHi] inclusive) with the plain Monge recursion.
+func (s *stairSearcher) mongeRegion(mach *pram.Machine, rows []int, pos []int, jLo, jHi int) []stairCand {
+	subRows := make([]int, len(pos))
+	for i, p := range pos {
+		subRows[i] = rows[p]
+	}
+	sr := &searcher{a: s.a}
+	cols := sr.solve(mach, subRows, jLo, jHi)
+	out := make([]stairCand, len(pos))
+	for i := range pos {
+		out[i] = stairCand{col: cols[i], val: s.a.At(subRows[i], cols[i])}
+	}
+	return out
+}
+
+// baseScan resolves tiny subproblems with the lockstep reduction of the
+// plain searcher; +Inf entries lose every comparison, and a row whose best
+// value is +Inf is reported as blocked.
+func (s *stairSearcher) baseScan(mach *pram.Machine, rows []int, c0, c1 int, res []stairCand) {
+	sr := &searcher{a: s.a}
+	cols := sr.base(mach, rows, c0, c1-1)
+	for i, r := range rows {
+		v := s.a.At(r, cols[i])
+		if math.IsInf(v, 1) {
+			res[i] = worstStair()
+		} else {
+			res[i] = stairCand{col: cols[i], val: v}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"monge/internal/marray"
+	"monge/internal/pram"
+	"monge/internal/smawk"
+)
+
+// TestLemma31CandidateCount verifies the counting argument of Lemma 3.1:
+// for an m x n array with m >= n whose row maxima move rightward (the
+// [AKM+87] total-monotonicity orientation the lemma implicitly uses, i.e.
+// this paper's inverse-Monge), once the maxima of every floor(m/n)-th row
+// are known, the remaining rows' candidates -- the subarrays A_i spanned
+// by consecutive sampled maxima -- contain at most ~2m entries in total.
+func TestLemma31CandidateCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(24)
+		m := n * (2 + rng.Intn(6))
+		a := marray.RandomInverseMonge(rng, m, n)
+		s := m / n
+		maxIdx := smawk.RowMaxima(a)
+		// j(i) = column of the maximum of row i*s (1-based rows in the
+		// paper; zero-based here: rows s-1, 2s-1, ...).
+		var j []int
+		j = append(j, 0)
+		for r := s - 1; r < m; r += s {
+			j = append(j, maxIdx[r])
+		}
+		j = append(j, n-1)
+		total := 0
+		for i := 1; i < len(j); i++ {
+			lo, hi := j[i-1], j[i]
+			if hi < lo {
+				t.Fatalf("sampled maxima of a Monge array must be nonincreasing... got increase")
+			}
+			total += (s - 1) * (hi - lo + 1)
+		}
+		if total > 2*m+2*n {
+			t.Fatalf("trial %d (m=%d n=%d): candidate count %d exceeds 2m+2n=%d",
+				trial, m, n, total, 2*m+2*n)
+		}
+	}
+}
+
+// TestBrentScaling: halving the declared processor count must not increase
+// charged time by more than ~2x plus additive step overhead (Brent).
+func TestBrentScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n := 512
+	a := marray.RandomMonge(rng, n, n)
+	timeWith := func(p int) int64 {
+		mach := pram.New(pram.CRCW, p)
+		RowMinima(mach, a)
+		return mach.Time()
+	}
+	tFull := timeWith(n)
+	tHalf := timeWith(n / 2)
+	tQuarter := timeWith(n / 4)
+	if tHalf < tFull {
+		t.Fatalf("fewer processors cannot be faster: %d < %d", tHalf, tFull)
+	}
+	if tHalf > 2*tFull+64 {
+		t.Fatalf("halving processors more than doubled time: %d -> %d", tFull, tHalf)
+	}
+	if tQuarter > 2*tHalf+64 {
+		t.Fatalf("quartering processors misbehaved: %d -> %d", tHalf, tQuarter)
+	}
+}
+
+// TestCREWModeDetectsNoConflicts: every core algorithm must be genuinely
+// exclusive-write when run in CREW mode (the machine panics otherwise, so
+// completing is the assertion).
+func TestCREWModeDetectsNoConflicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	a := marray.RandomMonge(rng, 60, 60)
+	st := marray.RandomStaircaseMonge(rng, 60, 60)
+	c := marray.RandomComposite(rng, 12, 12, 12)
+	mach := pram.New(pram.CREW, 120)
+	RowMinima(mach, a)
+	MongeRowMaxima(mach, a)
+	StaircaseRowMinima(mach, st)
+	TubeMaxima(mach, c)
+}
+
+// TestMongeArgminMonotone validates the structural fact every recursion in
+// this package leans on: the leftmost argmin column of a Monge array is
+// nondecreasing in the row index.
+func TestMongeArgminMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 60; trial++ {
+		m, n := 2+rng.Intn(30), 2+rng.Intn(30)
+		a := marray.RandomMonge(rng, m, n)
+		idx := smawk.RowMinimaBrute(a)
+		for i := 1; i < m; i++ {
+			if idx[i] < idx[i-1] {
+				t.Fatalf("leftmost argmin decreased at row %d: %v", i, idx)
+			}
+		}
+	}
+}

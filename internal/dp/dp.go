@@ -1,0 +1,288 @@
+// Package dp implements the dynamic-programming applications of the Monge
+// abstraction cited in Section 1.1 of the paper:
+//
+//   - the concave least-weight subsequence problem (Larmore-Schieber
+//     [LS89] / Eppstein-Galil-Giancarlo-Italiano [EGGI90] territory):
+//     f(j) = min_{i<j} f(i) + w(i,j) for a Monge (concave) weight, solved
+//     in O(n lg n) with the candidate-interval stack that exploits total
+//     monotonicity, against the O(n^2) reference DP;
+//   - the economic lot-size model (Aggarwal-Park [AP90]): with
+//     nonspeculative costs the planning recurrence is a concave LWS
+//     instance;
+//   - Yao's quadrangle-inequality speedup [Yao80] for optimal binary
+//     search trees: the O(n^2) Knuth-Yao root-monotonicity DP against the
+//     O(n^3) naive DP.
+package dp
+
+import (
+	"math"
+)
+
+// WeightFunc is a link weight w(i, j) for 0 <= i < j <= n. It must
+// satisfy the Monge (concave quadrangle) inequality
+// w(i,j) + w(i',j') <= w(i,j') + w(i',j) for i < i' < j < j'.
+type WeightFunc func(i, j int) float64
+
+// LWS solves the least-weight subsequence problem: the cheapest chain
+// 0 = i_0 < i_1 < ... < i_k = n under the Monge weight w, returning the
+// optimal value per position and the predecessor links. O(n lg n) time via
+// the concave candidate-interval stack.
+func LWS(n int, w WeightFunc) (f []float64, pred []int) {
+	f = make([]float64, n+1)
+	pred = make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		f[j] = math.Inf(1)
+		pred[j] = -1
+	}
+	if n == 0 {
+		return f, pred
+	}
+	// Stack of (cand, from): candidate cand is the best predecessor for
+	// all positions in [from, next.from). Concavity makes the "ownership"
+	// intervals of candidates a partition into consecutive runs whose
+	// owners appear in increasing order.
+	type seg struct {
+		cand, from int
+	}
+	stack := []seg{{cand: 0, from: 1}}
+	val := func(i, j int) float64 { return f[i] + w(i, j) }
+	for j := 1; j <= n; j++ {
+		// Pop segments that end before j.
+		for len(stack) > 1 && stack[1].from <= j {
+			stack = stack[1:]
+		}
+		f[j] = val(stack[0].cand, j)
+		pred[j] = stack[0].cand
+		if j == n {
+			break
+		}
+		// Insert j as a candidate: by concavity it owns a suffix [h, n] of
+		// the remaining positions (possibly empty), found by popping
+		// dominated segments from the back and binary searching the
+		// crossover inside the first surviving one.
+		inserted := false
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			start := top.from
+			if start <= j {
+				start = j + 1
+			}
+			if start > n || val(j, start) <= val(top.cand, start) {
+				// j dominates this whole remaining segment.
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if val(j, n) > val(top.cand, n) {
+				// j never wins within this segment (hence nowhere).
+				inserted = true
+				break
+			}
+			// Binary search the crossover inside [start, n]:
+			// val(j, lo) > val(cand, lo), val(j, hi) <= val(cand, hi).
+			lo, hi := start, n
+			for lo+1 < hi {
+				mid := (lo + hi) / 2
+				if val(j, mid) <= val(top.cand, mid) {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			stack = append(stack, seg{cand: j, from: hi})
+			inserted = true
+			break
+		}
+		if !inserted && len(stack) == 0 {
+			// j dominates everywhere from j+1 on.
+			stack = append(stack, seg{cand: j, from: j + 1})
+		}
+	}
+	return f, pred
+}
+
+// LWSBrute is the O(n^2) reference.
+func LWSBrute(n int, w WeightFunc) (f []float64, pred []int) {
+	f = make([]float64, n+1)
+	pred = make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		f[j] = math.Inf(1)
+		pred[j] = -1
+		for i := 0; i < j; i++ {
+			if v := f[i] + w(i, j); v < f[j] {
+				f[j] = v
+				pred[j] = i
+			}
+		}
+	}
+	return f, pred
+}
+
+// Chain reconstructs the optimal chain ending at n from predecessor links.
+func Chain(pred []int) []int {
+	var rev []int
+	for j := len(pred) - 1; j > 0; j = pred[j] {
+		rev = append(rev, j)
+		if pred[j] < 0 {
+			break
+		}
+	}
+	rev = append(rev, 0)
+	out := make([]int, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// LotSizePlan is the solution of an economic lot-size instance.
+type LotSizePlan struct {
+	// Cost is the optimal total cost.
+	Cost float64
+	// Orders lists the periods (1-based) in which production runs.
+	Orders []int
+}
+
+// LotSize solves the economic lot-size model (Wagner-Whitin with
+// nonspeculative costs, the [AP90] application): demand[t] units are due
+// in period t+1; a production run in period s costs setup[s-1] plus unit
+// production, and inventory carried from period t to t+1 costs hold[t-1]
+// per unit. The planning recurrence is a least-weight subsequence problem
+// whose weight matrix is Monge, so LWS solves it in O(n lg n).
+func LotSize(demand, setup, hold []float64) LotSizePlan {
+	n := len(demand)
+	if n == 0 {
+		return LotSizePlan{}
+	}
+	// Prefix sums: D[t] = total demand of periods 1..t;
+	// H[t] = cumulative holding rate from period 1 through t.
+	D := make([]float64, n+1)
+	H := make([]float64, n+1)
+	for t := 1; t <= n; t++ {
+		D[t] = D[t-1] + demand[t-1]
+		rate := 0.0
+		if t < n {
+			rate = hold[t-1]
+		}
+		H[t] = H[t-1] + rate
+	}
+	// w(i, j): produce in period i+1 everything due in periods i+1..j.
+	// The unit due in period t, produced in period i+1, pays the holding
+	// rates of periods i+1..t-1, i.e. H[t-1] - H[i]; in prefix form
+	// w(i,j) = setup[i] + (DH[j]-DH[i]) - H[i]*(D[j]-D[i]).
+	DH := make([]float64, n+1)
+	for t := 1; t <= n; t++ {
+		DH[t] = DH[t-1] + demand[t-1]*H[t-1]
+	}
+	w := func(i, j int) float64 {
+		return setup[i] + (DH[j] - DH[i]) - H[i]*(D[j]-D[i])
+	}
+	f, pred := LWS(n, w)
+	plan := LotSizePlan{Cost: f[n]}
+	chain := Chain(pred)
+	for _, s := range chain[:len(chain)-1] {
+		plan.Orders = append(plan.Orders, s+1)
+	}
+	return plan
+}
+
+// LotSizeBrute is the O(n^2) Wagner-Whitin reference.
+func LotSizeBrute(demand, setup, hold []float64) LotSizePlan {
+	n := len(demand)
+	if n == 0 {
+		return LotSizePlan{}
+	}
+	D := make([]float64, n+1)
+	H := make([]float64, n+1)
+	DH := make([]float64, n+1)
+	for t := 1; t <= n; t++ {
+		D[t] = D[t-1] + demand[t-1]
+		rate := 0.0
+		if t < n {
+			rate = hold[t-1]
+		}
+		H[t] = H[t-1] + rate
+		DH[t] = DH[t-1] + demand[t-1]*H[t-1]
+	}
+	w := func(i, j int) float64 {
+		return setup[i] + (DH[j] - DH[i]) - H[i]*(D[j]-D[i])
+	}
+	f, pred := LWSBrute(n, w)
+	plan := LotSizePlan{Cost: f[n]}
+	chain := Chain(pred)
+	for _, s := range chain[:len(chain)-1] {
+		plan.Orders = append(plan.Orders, s+1)
+	}
+	return plan
+}
+
+// OptimalBST computes the cost of an optimal binary search tree over keys
+// with the given access frequencies, using the Knuth-Yao quadrangle
+// inequality speedup: the optimal root index is monotone in both interval
+// endpoints, giving O(n^2) total time.
+func OptimalBST(freq []float64) float64 {
+	n := len(freq)
+	if n == 0 {
+		return 0
+	}
+	pre := make([]float64, n+1)
+	for i, f := range freq {
+		pre[i+1] = pre[i] + f
+	}
+	cost := make([][]float64, n+1)
+	root := make([][]int, n+1)
+	for i := range cost {
+		cost[i] = make([]float64, n+1)
+		root[i] = make([]int, n+1)
+	}
+	for i := 0; i < n; i++ {
+		cost[i][i+1] = freq[i]
+		root[i][i+1] = i
+	}
+	for length := 2; length <= n; length++ {
+		for i := 0; i+length <= n; i++ {
+			j := i + length
+			lo, hi := root[i][j-1], root[i+1][j]
+			best := math.Inf(1)
+			bestR := lo
+			for r := lo; r <= hi; r++ {
+				v := cost[i][r] + cost[r+1][j]
+				if v < best {
+					best, bestR = v, r
+				}
+			}
+			cost[i][j] = best + (pre[j] - pre[i])
+			root[i][j] = bestR
+		}
+	}
+	return cost[0][n]
+}
+
+// OptimalBSTBrute is the O(n^3) reference without root monotonicity.
+func OptimalBSTBrute(freq []float64) float64 {
+	n := len(freq)
+	if n == 0 {
+		return 0
+	}
+	pre := make([]float64, n+1)
+	for i, f := range freq {
+		pre[i+1] = pre[i] + f
+	}
+	cost := make([][]float64, n+1)
+	for i := range cost {
+		cost[i] = make([]float64, n+1)
+	}
+	for length := 1; length <= n; length++ {
+		for i := 0; i+length <= n; i++ {
+			j := i + length
+			best := math.Inf(1)
+			for r := i; r < j; r++ {
+				v := cost[i][r] + cost[r+1][j]
+				if v < best {
+					best = v
+				}
+			}
+			cost[i][j] = best + (pre[j] - pre[i])
+		}
+	}
+	return cost[0][n]
+}

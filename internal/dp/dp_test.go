@@ -1,0 +1,206 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"monge/internal/marray"
+)
+
+// randMongeWeight builds a random Monge weight over 0..n via the dense
+// generator.
+func randMongeWeight(rng *rand.Rand, n int) WeightFunc {
+	d := marray.RandomMonge(rng, n+1, n+1)
+	return func(i, j int) float64 { return d.At(i, j) }
+}
+
+// concaveWeight is a classic concave (Monge) family: g(j - i) for concave
+// g plus linear node costs.
+func concaveWeight(rng *rand.Rand, n int) WeightFunc {
+	a := 1 + rng.Float64()*5
+	b := rng.Float64() * 10
+	node := make([]float64, n+1)
+	for i := range node {
+		node[i] = rng.Float64() * 3
+	}
+	return func(i, j int) float64 {
+		d := float64(j - i)
+		return a*math.Sqrt(d) + b + node[i]
+	}
+}
+
+func eqF(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9*math.Max(1, math.Abs(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLWSMatchesBruteMonge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(60)
+		w := randMongeWeight(rng, n)
+		f1, _ := LWS(n, w)
+		f2, _ := LWSBrute(n, w)
+		if !eqF(f1, f2) {
+			t.Fatalf("trial %d (n=%d): %v vs %v", trial, n, f1[n], f2[n])
+		}
+	}
+}
+
+func TestLWSMatchesBruteConcave(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(80)
+		w := concaveWeight(rng, n)
+		f1, _ := LWS(n, w)
+		f2, _ := LWSBrute(n, w)
+		if !eqF(f1, f2) {
+			t.Fatalf("trial %d (n=%d)", trial, n)
+		}
+	}
+}
+
+func TestLWSChainIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(40)
+		w := concaveWeight(rng, n)
+		f, pred := LWS(n, w)
+		chain := Chain(pred)
+		if chain[0] != 0 || chain[len(chain)-1] != n {
+			t.Fatalf("chain endpoints wrong: %v", chain)
+		}
+		total := 0.0
+		for i := 1; i < len(chain); i++ {
+			if chain[i] <= chain[i-1] {
+				t.Fatalf("chain not increasing: %v", chain)
+			}
+			total += w(chain[i-1], chain[i])
+		}
+		if math.Abs(total-f[n]) > 1e-9*math.Max(1, f[n]) {
+			t.Fatalf("chain cost %v != f[n] %v", total, f[n])
+		}
+	}
+}
+
+func TestLWSEdgeCases(t *testing.T) {
+	f, _ := LWS(0, func(i, j int) float64 { return 1 })
+	if f[0] != 0 {
+		t.Fatal("n=0")
+	}
+	f, pred := LWS(1, func(i, j int) float64 { return 7 })
+	if f[1] != 7 || pred[1] != 0 {
+		t.Fatal("n=1")
+	}
+}
+
+func TestLotSizeMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(40)
+		demand := make([]float64, n)
+		setup := make([]float64, n)
+		hold := make([]float64, n)
+		for i := 0; i < n; i++ {
+			demand[i] = float64(rng.Intn(20))
+			setup[i] = 5 + float64(rng.Intn(50))
+			hold[i] = 0.1 + rng.Float64()
+		}
+		got := LotSize(demand, setup, hold)
+		want := LotSizeBrute(demand, setup, hold)
+		if math.Abs(got.Cost-want.Cost) > 1e-9*math.Max(1, want.Cost) {
+			t.Fatalf("trial %d: %v vs %v", trial, got.Cost, want.Cost)
+		}
+		if len(got.Orders) == 0 || got.Orders[0] != 1 {
+			t.Fatalf("first order must be period 1: %v", got.Orders)
+		}
+	}
+}
+
+func TestLotSizeWeightIsMonge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 20
+	demand := make([]float64, n)
+	setup := make([]float64, n)
+	hold := make([]float64, n)
+	for i := 0; i < n; i++ {
+		demand[i] = float64(rng.Intn(10))
+		setup[i] = float64(rng.Intn(20))
+		hold[i] = rng.Float64()
+	}
+	D := make([]float64, n+1)
+	H := make([]float64, n+1)
+	DH := make([]float64, n+1)
+	for t2 := 1; t2 <= n; t2++ {
+		D[t2] = D[t2-1] + demand[t2-1]
+		rate := 0.0
+		if t2 < n {
+			rate = hold[t2-1]
+		}
+		H[t2] = H[t2-1] + rate
+		DH[t2] = DH[t2-1] + demand[t2-1]*H[t2-1]
+	}
+	a := marray.Func{M: n, N: n, F: func(i, j int) float64 {
+		return setup[i] + (DH[j+1] - DH[i]) - H[i]*(D[j+1]-D[i])
+	}}
+	// Check the Monge inequality on valid index pairs (i < j+1 always used
+	// in the DP; the full rectangular check suffices for the inequality).
+	if !marray.IsMonge(a) {
+		t.Fatal("lot-size weight matrix is not Monge")
+	}
+}
+
+func TestLotSizeEmpty(t *testing.T) {
+	p := LotSize(nil, nil, nil)
+	if p.Cost != 0 || p.Orders != nil {
+		t.Fatal("empty instance")
+	}
+}
+
+func TestOptimalBSTMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(25)
+		freq := make([]float64, n)
+		for i := range freq {
+			freq[i] = float64(1 + rng.Intn(20))
+		}
+		got := OptimalBST(freq)
+		want := OptimalBSTBrute(freq)
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("trial %d: %v vs %v", trial, got, want)
+		}
+	}
+	if OptimalBST(nil) != 0 {
+		t.Fatal("empty BST")
+	}
+}
+
+func TestQuickLWS(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80}
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		var w WeightFunc
+		if rng.Intn(2) == 0 {
+			w = randMongeWeight(rng, n)
+		} else {
+			w = concaveWeight(rng, n)
+		}
+		f1, _ := LWS(n, w)
+		f2, _ := LWSBrute(n, w)
+		return eqF(f1, f2)
+	}
+	if err := quick.Check(fn, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package geom
+
+import (
+	"math/rand"
+
+	"monge/internal/marray"
+)
+
+// ObstructedChains generates the workload for the neighbor problems of
+// application 3: a convex polygon split into chains P (m vertices) and Q
+// (n vertices), plus a small convex occluder placed strictly inside the
+// hull near the cut between the chains, so that from each vertex of P a
+// boundary-anchored arc of Q is hidden.
+//
+// Substitution note (see DESIGN.md): the paper poses the problem for two
+// non-intersecting convex polygons and omits the reduction's details. The
+// array structure its algorithm relies on -- an inverse-Monge distance
+// array (quadrangle inequality on points in convex position) whose blocked
+// entries form a staircase -- is exactly reproduced by this configuration;
+// the two-polygon chain-splitting case analysis is not reconstructed.
+func ObstructedChains(rng *rand.Rand, m, n int) (p, q []Point, obstacle Polygon) {
+	pts := marray.ConvexPolygon(rng, m+n)
+	p, q = pts[:m], pts[m:]
+	// Hull centroid.
+	var cx, cy float64
+	for _, pt := range pts {
+		cx += pt.X
+		cy += pt.Y
+	}
+	cx /= float64(m + n)
+	cy /= float64(m + n)
+	// Place the occluder between the cut edge (p[m-1], q[0]) and the
+	// centroid, scaled down until it contains no chain vertex.
+	mid := Point{X: (p[m-1].X + q[0].X) / 2, Y: (p[m-1].Y + q[0].Y) / 2}
+	ox := mid.X + 0.45*(cx-mid.X)
+	oy := mid.Y + 0.45*(cy-mid.Y)
+	base := marray.ConvexPolygon(rng, 3+rng.Intn(5))
+	var bx, by float64
+	for _, b := range base {
+		bx += b.X
+		by += b.Y
+	}
+	bx /= float64(len(base))
+	by /= float64(len(base))
+	for scale := 0.30; scale > 0.001; scale *= 0.6 {
+		obstacle = make(Polygon, len(base))
+		for i, b := range base {
+			obstacle[i] = Point{X: ox + scale*(b.X-bx), Y: oy + scale*(b.Y-by)}
+		}
+		ok := true
+		for _, pt := range pts {
+			if obstacle.Contains(pt) {
+				ok = false
+				break
+			}
+		}
+		if ok && obstacle.IsConvexCCW() {
+			return p, q, obstacle
+		}
+	}
+	// Degenerate fallback: a tiny triangle at the chosen center.
+	obstacle = Polygon{
+		{X: ox - 0.01, Y: oy - 0.01},
+		{X: ox + 0.01, Y: oy - 0.01},
+		{X: ox, Y: oy + 0.01},
+	}
+	return p, q, obstacle
+}

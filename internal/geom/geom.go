@@ -1,0 +1,416 @@
+// Package geom implements the paper's geometric applications:
+//
+//   - the introductory Figure 1.1 example: all-farthest-neighbors between
+//     the two chains of a split convex polygon, an inverse-Monge row-maxima
+//     problem solved sequentially in Theta(m+n) and in parallel on the
+//     simulated PRAM;
+//   - application 3: the nearest-visible-, nearest-invisible-,
+//     farthest-visible-, and farthest-invisible-neighbors problems for two
+//     non-intersecting convex polygons, where the invisible cases reduce to
+//     staircase-Monge row minima/maxima (Theorem 2.3).
+//
+// The visibility structure is computed exactly; the staircase reductions
+// are applied to the mask families whose staircase shape the code verifies
+// (the standard facing-chains configuration), with a per-row exact
+// fallback that keeps the answers correct on any input and is counted so
+// benchmarks can report coverage.
+package geom
+
+import (
+	"math"
+
+	"monge/internal/core"
+	"monge/internal/marray"
+	"monge/internal/pram"
+	"monge/internal/smawk"
+)
+
+// Point is a planar point.
+type Point = marray.Point
+
+// AllFarthestNeighbors solves the Figure 1.1 problem sequentially: given
+// the two chains P and Q of a convex polygon (both counterclockwise), it
+// returns for every vertex of P the index of the farthest vertex of Q.
+// Theta(m+n) time via SMAWK row maxima on the inverse-Monge distance
+// array.
+func AllFarthestNeighbors(p, q []Point) []int {
+	if len(p) == 0 || len(q) == 0 {
+		return nil
+	}
+	return smawk.RowMaxima(marray.ChainDistanceMatrix(p, q))
+}
+
+// AllFarthestNeighborsPRAM is the parallel version on the given machine.
+func AllFarthestNeighborsPRAM(mach *pram.Machine, p, q []Point) []int {
+	if len(p) == 0 || len(q) == 0 {
+		return nil
+	}
+	return core.RowMaxima(mach, marray.ChainDistanceMatrix(p, q))
+}
+
+// AllFarthestNeighborsBrute is the quadratic reference.
+func AllFarthestNeighborsBrute(p, q []Point) []int {
+	out := make([]int, len(p))
+	for i := range p {
+		best, bv := 0, -1.0
+		for j := range q {
+			if d := marray.Dist(p[i], q[j]); d > bv {
+				best, bv = j, d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Polygon is a convex polygon given by its vertices in counterclockwise
+// order.
+type Polygon []Point
+
+// cross returns the z-component of (b-a) x (c-a).
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// IsConvexCCW reports whether the polygon is strictly convex and
+// counterclockwise.
+func (pg Polygon) IsConvexCCW() bool {
+	n := len(pg)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if cross(pg[i], pg[(i+1)%n], pg[(i+2)%n]) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether x lies strictly inside the polygon.
+func (pg Polygon) Contains(x Point) bool {
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		if cross(pg[i], pg[(i+1)%n], x) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// segIntersectsInterior reports whether the open segment (a, b) intersects
+// the interior of the polygon. Exact for strictly convex polygons: it
+// clips the segment parameter interval against every edge's half-plane and
+// checks whether a nonempty open sub-interval survives.
+func (pg Polygon) segIntersectsInterior(a, b Point) bool {
+	// Points of segment: a + t*(b-a), t in [0,1]. Interior of the convex
+	// polygon = intersection of open half-planes cross(e_i, e_{i+1}, x)>0.
+	lo, hi := 0.0, 1.0
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		p0, p1 := pg[i], pg[(i+1)%n]
+		// f(t) = cross(p0, p1, a + t*(b-a)) is affine in t.
+		fa := cross(p0, p1, a)
+		fb := cross(p0, p1, b)
+		df := fb - fa
+		const eps = 1e-12
+		if math.Abs(df) < eps {
+			if fa <= eps {
+				return false // entire segment outside this half-plane
+			}
+			continue
+		}
+		t := -fa / df
+		if df > 0 {
+			// inside for t > t0
+			if t > lo {
+				lo = t
+			}
+		} else {
+			if t < hi {
+				hi = t
+			}
+		}
+		if lo >= hi {
+			return false
+		}
+	}
+	// Require a genuinely interior sub-interval (not just touching).
+	const tiny = 1e-9
+	return hi-lo > tiny
+}
+
+// Visible reports whether vertex q is visible from point x given convex
+// polygonal obstacles: the open segment must avoid every interior.
+func Visible(x, q Point, obstacles []Polygon) bool {
+	for _, ob := range obstacles {
+		if ob.segIntersectsInterior(x, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// NeighborKind selects which of the four application-3 problems to solve.
+type NeighborKind int
+
+const (
+	// NearestVisible finds, per vertex of P, the nearest visible vertex of Q.
+	NearestVisible NeighborKind = iota
+	// NearestInvisible finds the nearest invisible vertex of Q.
+	NearestInvisible
+	// FarthestVisible finds the farthest visible vertex of Q.
+	FarthestVisible
+	// FarthestInvisible finds the farthest invisible vertex of Q.
+	FarthestInvisible
+)
+
+// String names the problem.
+func (k NeighborKind) String() string {
+	switch k {
+	case NearestVisible:
+		return "nearest-visible"
+	case NearestInvisible:
+		return "nearest-invisible"
+	case FarthestVisible:
+		return "farthest-visible"
+	case FarthestInvisible:
+		return "farthest-invisible"
+	}
+	return "unknown"
+}
+
+// NeighborResult carries the answers plus solver statistics.
+type NeighborResult struct {
+	// Index[i] is the answer vertex of Q for vertex i of P, or -1 when the
+	// relevant (in)visible set is empty.
+	Index []int
+	// StaircaseRows counts rows solved through the staircase-Monge
+	// machinery; FallbackRows counts rows that needed the exact per-row
+	// scan because their mask was not covered by the staircase families.
+	StaircaseRows, FallbackRows int
+}
+
+// Neighbors solves one of the four neighbor problems for two chains p and
+// q of one convex polygon (so that distances are inverse-Monge by the
+// quadrangle inequality), with visibility blocked by the given convex
+// obstacles. The mask of (in)visible pairs is decomposed into a prefix
+// family and a suffix family; each family whose boundary vector is
+// staircase-shaped (monotone) is searched with the staircase-Monge
+// machinery of Theorem 2.3 on the given machine (mach == nil solves
+// sequentially), and remaining rows fall back to exact scans.
+func Neighbors(kind NeighborKind, mach *pram.Machine, p, q []Point, obstacles []Polygon) NeighborResult {
+	m, n := len(p), len(q)
+	out := NeighborResult{Index: make([]int, m)}
+	if m == 0 || n == 0 {
+		return out
+	}
+	wantVisible := kind == NearestVisible || kind == FarthestVisible
+	nearest := kind == NearestVisible || kind == NearestInvisible
+
+	// Exact mask: mask[i][j] == true when pair (i,j) participates.
+	mask := make([][]bool, m)
+	for i := range mask {
+		mask[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			mask[i][j] = Visible(p[i], q[j], obstacles) == wantVisible
+		}
+	}
+
+	dist := marray.ChainDistanceMatrix(p, q) // inverse-Monge
+
+	// Decompose each row's mask into a prefix run and a suffix run; rows
+	// whose mask is exactly prefix ∪ suffix (possibly empty) are eligible.
+	prefixLen := make([]int, m) // mask true on [0, prefixLen)
+	suffixLen := make([]int, m) // mask true on [n-suffixLen, n)
+	eligible := make([]bool, m)
+	for i := 0; i < m; i++ {
+		a := 0
+		for a < n && mask[i][a] {
+			a++
+		}
+		b := 0
+		for b < n-a && mask[i][n-1-b] {
+			b++
+		}
+		covered := true
+		for j := a; j < n-b; j++ {
+			if mask[i][j] {
+				covered = false
+				break
+			}
+		}
+		prefixLen[i], suffixLen[i], eligible[i] = a, b, covered
+	}
+
+	best := make([]float64, m)
+	arg := make([]int, m)
+	for i := range arg {
+		arg[i] = -1
+	}
+	offer := func(i, j int, d float64) {
+		if j < 0 {
+			return
+		}
+		if arg[i] == -1 || (nearest && d < best[i]) || (!nearest && d > best[i]) {
+			best[i], arg[i] = d, j
+		}
+	}
+
+	// To apply the staircase-Monge row-minima machinery (Theorem 2.3) the
+	// masked array must be Monge with a nonincreasing prefix boundary in
+	// the transformed index space. The distance array is inverse-Monge, so
+	// each (objective, mask family) pair fixes a transformation:
+	//
+	//   farthest + prefix masks:  negate            -> boundaries must be nonincreasing
+	//   farthest + suffix masks:  negate + reverse rows and columns
+	//                                               -> suffix lengths must be nondecreasing
+	//   nearest + prefix masks:   reverse rows      -> boundaries must be nondecreasing
+	//   nearest + suffix masks:   reverse columns   -> suffix lengths must be nonincreasing
+	//
+	// Eligible rows are batched into maximal runs with the required
+	// monotonicity; everything else falls back to an exact scan.
+	type run struct {
+		rows   []int
+		lenOf  []int
+		suffix bool
+	}
+	buildStair := func(rn run) (marray.StairFunc, func(r int) int, func(j int) int) {
+		k := len(rn.rows)
+		revRows := (nearest && !rn.suffix) || (!nearest && rn.suffix)
+		revCols := rn.suffix
+		sign := 1.0
+		if !nearest {
+			sign = -1.0
+		}
+		rowAt := func(r int) int {
+			if revRows {
+				return rn.rows[k-1-r]
+			}
+			return rn.rows[r]
+		}
+		colAt := func(j int) int {
+			if revCols {
+				return n - 1 - j
+			}
+			return j
+		}
+		sub := marray.StairFunc{
+			M: k, N: n,
+			F: func(r, j int) float64 {
+				return sign * dist.At(rowAt(r), colAt(j))
+			},
+			Bound: func(r int) int { return rn.lenOf[rowAt(r)] },
+		}
+		return sub, rowAt, colAt
+	}
+	var runs []run
+
+	handled := make([]bool, m) // row fully covered by staircase families?
+	prefHandled := make([]bool, m)
+	sufHandled := make([]bool, m)
+
+	batch := func(lenOf []int, suffix bool, mark []bool) {
+		// required direction of the boundary sequence in ORIGINAL row order
+		needNonInc := (!nearest && !suffix) || (nearest && suffix)
+		i := 0
+		for i < m {
+			if !eligible[i] {
+				i++
+				continue
+			}
+			jEnd := i + 1
+			for jEnd < m && eligible[jEnd] {
+				ok := lenOf[jEnd] <= lenOf[jEnd-1]
+				if !needNonInc {
+					ok = lenOf[jEnd] >= lenOf[jEnd-1]
+				}
+				if !ok {
+					break
+				}
+				jEnd++
+			}
+			rows := make([]int, 0, jEnd-i)
+			for r := i; r < jEnd; r++ {
+				rows = append(rows, r)
+				mark[r] = true
+			}
+			runs = append(runs, run{rows: rows, lenOf: lenOf, suffix: suffix})
+			i = jEnd
+		}
+	}
+	batch(prefixLen, false, prefHandled)
+	batch(suffixLen, true, sufHandled)
+
+	// The runs are independent searches; on a machine they execute on
+	// parallel processor groups (the paper's allocation argument), so the
+	// charged time is the slowest run, not the sum.
+	results := make([][]int, len(runs))
+	if mach != nil {
+		procs := make([]int, len(runs))
+		for b, rn := range runs {
+			procs[b] = len(rn.rows) + n
+		}
+		mach.ParallelDo(procs, func(b int, sub *pram.Machine) {
+			stair, _, _ := buildStair(runs[b])
+			results[b] = core.StaircaseRowMinima(sub, stair)
+		})
+	} else {
+		for b := range runs {
+			stair, _, _ := buildStair(runs[b])
+			results[b] = smawk.StaircaseRowMinima(stair)
+		}
+	}
+	for b, rn := range runs {
+		_, rowAt, colAt := buildStair(rn)
+		for r, j := range results[b] {
+			out.StaircaseRows++
+			if j >= 0 {
+				i, jj := rowAt(r), colAt(j)
+				offer(i, jj, dist.At(i, jj))
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		handled[i] = eligible[i] && prefHandled[i] && sufHandled[i]
+	}
+
+	// Fallback for rows not fully covered.
+	for i := 0; i < m; i++ {
+		if handled[i] {
+			continue
+		}
+		out.FallbackRows++
+		arg[i] = -1
+		for j := 0; j < n; j++ {
+			if mask[i][j] {
+				offer(i, j, dist.At(i, j))
+			}
+		}
+	}
+	copy(out.Index, arg)
+	return out
+}
+
+// NeighborsBrute solves any of the four problems by exhaustive scan,
+// for validation.
+func NeighborsBrute(kind NeighborKind, p, q []Point, obstacles []Polygon) []int {
+	wantVisible := kind == NearestVisible || kind == FarthestVisible
+	nearest := kind == NearestVisible || kind == NearestInvisible
+	out := make([]int, len(p))
+	for i := range p {
+		bestJ := -1
+		bestV := 0.0
+		for j := range q {
+			if Visible(p[i], q[j], obstacles) != wantVisible {
+				continue
+			}
+			d := marray.Dist(p[i], q[j])
+			if bestJ == -1 || (nearest && d < bestV) || (!nearest && d > bestV) {
+				bestJ, bestV = j, d
+			}
+		}
+		out[i] = bestJ
+	}
+	return out
+}

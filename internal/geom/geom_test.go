@@ -1,0 +1,215 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"monge/internal/marray"
+	"monge/internal/pram"
+)
+
+func TestAllFarthestNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		m, n := 2+rng.Intn(40), 2+rng.Intn(40)
+		p, q := marray.ConvexChainPair(rng, m, n)
+		got := AllFarthestNeighbors(p, q)
+		want := AllFarthestNeighborsBrute(p, q)
+		for i := range got {
+			if got[i] != want[i] {
+				// allow value ties
+				if marray.Dist(p[i], q[got[i]]) != marray.Dist(p[i], q[want[i]]) {
+					t.Fatalf("trial %d row %d: got %d want %d", trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAllFarthestNeighborsPRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		m, n := 2+rng.Intn(30), 2+rng.Intn(30)
+		p, q := marray.ConvexChainPair(rng, m, n)
+		mach := pram.New(pram.CRCW, m+n)
+		got := AllFarthestNeighborsPRAM(mach, p, q)
+		want := AllFarthestNeighborsBrute(p, q)
+		for i := range got {
+			if got[i] != want[i] && marray.Dist(p[i], q[got[i]]) != marray.Dist(p[i], q[want[i]]) {
+				t.Fatalf("trial %d row %d mismatch", trial, i)
+			}
+		}
+		if mach.Time() == 0 {
+			t.Fatal("PRAM version should charge time")
+		}
+	}
+}
+
+func TestAllFarthestNeighborsEmpty(t *testing.T) {
+	if AllFarthestNeighbors(nil, nil) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+func TestPolygonPredicates(t *testing.T) {
+	sq := Polygon{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}}
+	if !sq.IsConvexCCW() {
+		t.Fatal("square should be convex CCW")
+	}
+	cw := Polygon{{X: 0, Y: 0}, {X: 0, Y: 2}, {X: 2, Y: 2}, {X: 2, Y: 0}}
+	if cw.IsConvexCCW() {
+		t.Fatal("clockwise square should be rejected")
+	}
+	if !sq.Contains(Point{X: 1, Y: 1}) {
+		t.Fatal("center should be inside")
+	}
+	if sq.Contains(Point{X: 3, Y: 1}) || sq.Contains(Point{X: 2, Y: 1}) {
+		t.Fatal("outside/boundary points should not be strictly inside")
+	}
+}
+
+func TestSegIntersectsInterior(t *testing.T) {
+	sq := Polygon{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}}
+	if !sq.segIntersectsInterior(Point{X: -1, Y: 1}, Point{X: 3, Y: 1}) {
+		t.Fatal("crossing segment must intersect")
+	}
+	if sq.segIntersectsInterior(Point{X: -1, Y: 3}, Point{X: 3, Y: 3}) {
+		t.Fatal("segment above must not intersect")
+	}
+	if sq.segIntersectsInterior(Point{X: -1, Y: 2}, Point{X: 3, Y: 2}) {
+		t.Fatal("tangent segment along the top edge must not count as interior")
+	}
+	// Segment ending on the boundary from outside.
+	if sq.segIntersectsInterior(Point{X: -1, Y: 1}, Point{X: 0, Y: 1}) {
+		t.Fatal("segment reaching the boundary must not count")
+	}
+	// Segment through the interior ending on the far boundary.
+	if !sq.segIntersectsInterior(Point{X: -1, Y: 1}, Point{X: 2, Y: 1}) {
+		t.Fatal("segment passing through must count")
+	}
+}
+
+func TestObstructedChainsStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 4+rng.Intn(20), 4+rng.Intn(20)
+		p, q, ob := ObstructedChains(rng, m, n)
+		if len(p) != m || len(q) != n {
+			t.Fatal("chain sizes wrong")
+		}
+		if !ob.IsConvexCCW() {
+			t.Fatal("obstacle must be convex CCW")
+		}
+		for _, pt := range append(append([]Point{}, p...), q...) {
+			if ob.Contains(pt) {
+				t.Fatal("obstacle must not contain chain vertices")
+			}
+		}
+		// Chains of one convex polygon: distances are inverse-Monge.
+		if !marray.IsInverseMonge(marray.ChainDistanceMatrix(p, q)) {
+			t.Fatal("chain distances must be inverse-Monge")
+		}
+	}
+}
+
+func sameAnswers(t *testing.T, kind NeighborKind, p, q []Point, got, want []int) {
+	t.Helper()
+	for i := range got {
+		if got[i] == want[i] {
+			continue
+		}
+		if got[i] == -1 || want[i] == -1 {
+			t.Fatalf("%v row %d: got %d want %d", kind, i, got[i], want[i])
+		}
+		dg := marray.Dist(p[i], q[got[i]])
+		dw := marray.Dist(p[i], q[want[i]])
+		if math.Abs(dg-dw) > 1e-9 {
+			t.Fatalf("%v row %d: got %d (%.6f) want %d (%.6f)", kind, i, got[i], dg, want[i], dw)
+		}
+	}
+}
+
+func TestNeighborsAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	kinds := []NeighborKind{NearestVisible, NearestInvisible, FarthestVisible, FarthestInvisible}
+	staircaseUses, fallbacks := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		p, q, ob := ObstructedChains(rng, 4+rng.Intn(25), 4+rng.Intn(25))
+		obs := []Polygon{ob}
+		for _, kind := range kinds {
+			res := Neighbors(kind, nil, p, q, obs)
+			want := NeighborsBrute(kind, p, q, obs)
+			sameAnswers(t, kind, p, q, res.Index, want)
+			staircaseUses += res.StaircaseRows
+			fallbacks += res.FallbackRows
+		}
+	}
+	if staircaseUses == 0 {
+		t.Fatal("staircase path never fired on the standard configuration")
+	}
+	t.Logf("staircase rows: %d, fallback rows: %d", staircaseUses, fallbacks)
+}
+
+func TestNeighborsOnPRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		p, q, ob := ObstructedChains(rng, 4+rng.Intn(20), 4+rng.Intn(20))
+		obs := []Polygon{ob}
+		for _, kind := range []NeighborKind{NearestInvisible, FarthestInvisible} {
+			mach := pram.New(pram.CRCW, len(p)+len(q))
+			res := Neighbors(kind, mach, p, q, obs)
+			want := NeighborsBrute(kind, p, q, obs)
+			sameAnswers(t, kind, p, q, res.Index, want)
+		}
+	}
+}
+
+func TestNeighborsEmpty(t *testing.T) {
+	res := Neighbors(NearestVisible, nil, nil, nil, nil)
+	if len(res.Index) != 0 {
+		t.Fatal("empty input should give empty result")
+	}
+}
+
+func TestNeighborKindString(t *testing.T) {
+	names := map[NeighborKind]string{
+		NearestVisible:    "nearest-visible",
+		NearestInvisible:  "nearest-invisible",
+		FarthestVisible:   "farthest-visible",
+		FarthestInvisible: "farthest-invisible",
+		NeighborKind(9):   "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d: %q != %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestQuickNeighbors(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q, ob := ObstructedChains(rng, 4+rng.Intn(15), 4+rng.Intn(15))
+		obs := []Polygon{ob}
+		kind := NeighborKind(rng.Intn(4))
+		res := Neighbors(kind, nil, p, q, obs)
+		want := NeighborsBrute(kind, p, q, obs)
+		for i := range want {
+			if res.Index[i] != want[i] {
+				if res.Index[i] == -1 || want[i] == -1 {
+					return false
+				}
+				if math.Abs(marray.Dist(p[i], q[res.Index[i]])-marray.Dist(p[i], q[want[i]])) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

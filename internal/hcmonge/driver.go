@@ -1,0 +1,92 @@
+package hcmonge
+
+import (
+	hc "monge/internal/hypercube"
+)
+
+// EntryFunc evaluates one array entry from a row input and a column input,
+// the O(1) evaluation the paper's distributed input model assumes.
+type EntryFunc[V, W any] func(V, W) float64
+
+// MachineFor returns a machine of the given kind sized for an m x n search
+// (4*(m+n) processors rounded to a power of two, the routing headroom one
+// recursion level uses).
+func MachineFor(kind hc.Kind, m, n int) *hc.Machine {
+	return hc.New(kind, dimFor(m, n))
+}
+
+// RowMinima computes, for each row i of the m x n Monge array
+// a[i,j] = f(v[i], w[j]), the column index of its leftmost minimum, on a
+// freshly sized machine of the given kind. It returns the answers and the
+// machine, whose counters hold the charged time, communication, and work.
+//
+// With Theorem 3.2's bounds in mind: on an O(n)-processor hypercube the
+// measured time is O(lg n) for an n x n array (the lg lg n factor in the
+// paper's statement comes from processor reduction, which this simulation
+// replaces by machine sizing; see the package comment).
+func RowMinima[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W]) ([]int, *hc.Machine) {
+	return search(kind, v, w, f, false, false)
+}
+
+// RowMaxima computes leftmost row maxima of the m x n INVERSE-Monge array
+// a[i,j] = f(v[i], w[j]) (negation reduces to RowMinima).
+func RowMaxima[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W]) ([]int, *hc.Machine) {
+	return search(kind, v, w, f, true, false)
+}
+
+// MongeRowMaxima computes leftmost row maxima of a MONGE array (the
+// Theorem 3.2 / Table 1.1 problem): the column order is reversed (making
+// the array inverse-Monge), entries are negated, and the search runs with
+// rightmost tie-breaking, which corresponds to leftmost in the original
+// order. The returned indices are in the original column order.
+func MongeRowMaxima[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W]) ([]int, *hc.Machine) {
+	n := len(w)
+	rev := make([]W, n)
+	for j := range rev {
+		rev[j] = w[n-1-j]
+	}
+	neg := func(vi V, wj W) float64 { return -f(vi, wj) }
+	idx, mach := searchVW(kind, v, rev, neg, true, func(j int) int { return n - 1 - j })
+	return idx, mach
+}
+
+// search negates when maxima is set and runs the generic driver.
+func search[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W], maxima, tieRight bool) ([]int, *hc.Machine) {
+	g := f
+	if maxima {
+		g = func(vi V, wj W) float64 { return -f(vi, wj) }
+	}
+	return searchVW(kind, v, w, g, tieRight, func(j int) int { return j })
+}
+
+// searchVW places the inputs in the paper's distributed model (v[i] and
+// w[i] in processor i's memory), runs the recursion, and extracts the
+// answers. colID maps local column positions to reported indices.
+func searchVW[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W], tieRight bool, colID func(j int) int) ([]int, *hc.Machine) {
+	m, n := len(v), len(w)
+	mach := MachineFor(kind, m, n)
+	out := make([]int, m)
+	if m == 0 || n == 0 {
+		return out, mach
+	}
+	vvec := hc.NewVec(mach, func(p int) V {
+		if p < m {
+			return v[p]
+		}
+		var zero V
+		return zero
+	})
+	wvec := hc.NewVec(mach, func(p int) wcell[W] {
+		if p < n {
+			return wcell[W]{w: w[p], col: colID(p)}
+		}
+		return wcell[W]{col: -1}
+	})
+	pr := &problem[V, W]{f: f, tieRight: tieRight}
+	r := pr.solve(mach, m, n, vvec, wvec)
+	snap := r.Snapshot()
+	for i := 0; i < m; i++ {
+		out[i] = snap[i].col
+	}
+	return out, mach
+}

@@ -1,0 +1,77 @@
+package hcmonge
+
+import (
+	hc "monge/internal/hypercube"
+	"monge/internal/marray"
+)
+
+// Theorem 3.4: tube maxima of a p x q x r Monge-composite array on an
+// O(n^2)-processor hypercube in O(lg n) time. The p slices
+// W_i[k][j] = d[i,j] + e[j,k] are independent r x q Monge arrays; each
+// runs the two-dimensional recursion on its own sub-machine, all slices
+// simultaneously. A charged local preamble of d steps per slice stands in
+// for the butterfly distribution of d[i,*] and the E columns into the
+// slice's subcube (the paper distributes D and E uniformly across local
+// memories; the entry function then evaluates in O(1) as the model
+// requires).
+
+// TubeMaxima computes, for every (i, k), the smallest middle coordinate j
+// maximising c[i,j,k] = d[i,j] + e[j,k] (D, E Monge), plus the values, on
+// simulated networks of the given kind. Returns the parent machine for
+// counter inspection.
+func TubeMaxima(kind hc.Kind, c marray.Composite) (argJ [][]int, vals [][]float64, mach *hc.Machine) {
+	return tubeSearch(kind, c, true)
+}
+
+// TubeMinima is the minimisation analogue for composites with
+// inverse-Monge factors (the shortest-path orientation).
+func TubeMinima(kind hc.Kind, c marray.Composite) (argJ [][]int, vals [][]float64, mach *hc.Machine) {
+	return tubeSearch(kind, c, false)
+}
+
+func tubeSearch(kind hc.Kind, c marray.Composite, maxima bool) ([][]int, [][]float64, *hc.Machine) {
+	p, q, r := c.P(), c.Q(), c.R()
+	subDim := dimFor(r, q)
+	lgP := 0
+	for 1<<lgP < p {
+		lgP++
+	}
+	parent := hc.New(kind, subDim+lgP)
+	argJ := make([][]int, p)
+	vals := make([][]float64, p)
+	dims := make([]int, p)
+	for i := range dims {
+		dims[i] = subDim
+	}
+	parent.ParallelDo(dims, func(i int, sub *hc.Machine) {
+		// Charged stand-in for distributing d[i,*] and the E columns into
+		// this slice's subcube.
+		sub.Local(sub.Dim(), func(int) {})
+		vv := hc.NewVec(sub, func(pp int) int { return pp })
+		wv := hc.NewVec(sub, func(pp int) wcell[int] {
+			if pp < q {
+				return wcell[int]{w: q - 1 - pp, col: q - 1 - pp}
+			}
+			return wcell[int]{col: -1}
+		})
+		sign := 1.0
+		if maxima {
+			sign = -1.0
+		}
+		pr := &problem[int, int]{
+			f: func(k, j int) float64 {
+				return sign * (c.D.At(i, j) + c.E.At(j, k))
+			},
+			tieRight: true, // rightmost in reversed order = leftmost j
+		}
+		res := pr.solve(sub, r, q, vv, wv)
+		snap := res.Snapshot()
+		argJ[i] = make([]int, r)
+		vals[i] = make([]float64, r)
+		for k := 0; k < r; k++ {
+			argJ[i][k] = snap[k].col
+			vals[i][k] = c.At(i, snap[k].col, k)
+		}
+	})
+	return argJ, vals, parent
+}

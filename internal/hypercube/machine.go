@@ -1,0 +1,300 @@
+// Package hypercube simulates the distributed-memory networks of Section 3
+// of the paper: the hypercube itself plus its constant-degree relatives,
+// the cube-connected cycles and the shuffle-exchange network.
+//
+// # Model
+//
+// A machine has 2^d processors, each with private local memory (the cells
+// of Vec values). There is no shared memory: in one communication step
+// every processor may exchange one value with its neighbour across a single
+// hypercube dimension (Exchange); local computation steps touch only each
+// processor's own cells (Local). This matches the paper's input model where
+// a processor must receive both v[i] and w[j] before it can evaluate
+// a[i,j].
+//
+// All algorithms in this repository are "normal": each step uses one
+// dimension, and consecutive steps use adjacent dimensions. Normal
+// algorithms run on the cube-connected cycles and the shuffle-exchange
+// network with constant-factor slowdown (Leighton; [LLS89]); the CCC and
+// shuffle-exchange machine kinds execute the same data movement while
+// charging the emulation cost: a shuffle-exchange exchange on dimension t
+// costs one shuffle per dimension of misalignment plus the exchange itself,
+// and the CCC charges the cycle rotation that brings the cube edge into
+// position. Time counters therefore reproduce the "hypercube, etc." rows
+// of Tables 1.1-1.3.
+package hypercube
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Kind selects the interconnection network being simulated.
+type Kind int
+
+const (
+	// Cube is the binary hypercube: 2^d nodes, d neighbours each.
+	Cube Kind = iota
+	// CCC is the cube-connected cycles network: each hypercube node is a
+	// d-cycle; normal algorithms run with constant slowdown.
+	CCC
+	// Shuffle is the shuffle-exchange network: exchange edges plus the
+	// perfect-shuffle permutation; normal algorithms run with constant
+	// slowdown.
+	Shuffle
+)
+
+// String names the network kind.
+func (k Kind) String() string {
+	switch k {
+	case Cube:
+		return "hypercube"
+	case CCC:
+		return "cube-connected-cycles"
+	case Shuffle:
+		return "shuffle-exchange"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Machine simulates a 2^d-processor network of the given kind.
+type Machine struct {
+	kind Kind
+	d    int
+	n    int
+
+	time  int64 // charged step count (local + communication + emulation)
+	comm  int64 // values exchanged (communication volume)
+	local int64 // local operation count (work)
+
+	// align is the hypercube dimension currently adjacent to the
+	// shuffle-exchange / CCC "active" position; misaligned exchanges pay
+	// rotation steps.
+	align    int
+	hasAlign bool
+
+	workers int
+}
+
+// New returns a machine of the given kind with 2^d processors.
+func New(kind Kind, d int) *Machine {
+	if d < 0 {
+		panic("hypercube: negative dimension")
+	}
+	return &Machine{kind: kind, d: d, n: 1 << d, workers: runtime.GOMAXPROCS(0)}
+}
+
+// NewCube returns a hypercube with 2^d processors.
+func NewCube(d int) *Machine { return New(Cube, d) }
+
+// Kind returns the machine's network kind.
+func (m *Machine) Kind() Kind { return m.kind }
+
+// Dim returns d, the hypercube dimension.
+func (m *Machine) Dim() int { return m.d }
+
+// Size returns 2^d, the processor count.
+func (m *Machine) Size() int { return m.n }
+
+// Time returns the charged parallel step count.
+func (m *Machine) Time() int64 { return m.time }
+
+// Comm returns the number of values exchanged across edges.
+func (m *Machine) Comm() int64 { return m.comm }
+
+// Work returns the total local-operation count.
+func (m *Machine) Work() int64 { return m.local }
+
+// Reset clears the counters.
+func (m *Machine) Reset() { m.time, m.comm, m.local = 0, 0, 0; m.hasAlign = false }
+
+// Local executes one local superstep: body(p) runs on every processor p,
+// touching only processor p's cells. cost is the number of elementary
+// operations each processor performs (>= 1).
+func (m *Machine) Local(cost int, body func(p int)) {
+	if cost < 1 {
+		cost = 1
+	}
+	m.time += int64(cost)
+	m.local += int64(cost) * int64(m.n)
+	m.parallelFor(m.n, body)
+}
+
+// exchangeCharge accounts for one exchange over dimension dim under the
+// network's emulation model and returns nothing; the caller moves the data.
+func (m *Machine) exchangeCharge(dim int) {
+	if dim < 0 || dim >= m.d {
+		panic(fmt.Sprintf("hypercube: exchange on dimension %d of a %d-cube", dim, m.d))
+	}
+	switch m.kind {
+	case Cube:
+		m.time++
+	case Shuffle, CCC:
+		// Rotations needed to bring dim into the exchange position; normal
+		// algorithms pay exactly one per step.
+		rot := 0
+		if m.hasAlign {
+			fwd := (dim - m.align + m.d) % m.d
+			bwd := (m.align - dim + m.d) % m.d
+			rot = fwd
+			if bwd < rot {
+				rot = bwd
+			}
+		}
+		m.align = dim
+		m.hasAlign = true
+		m.time += int64(rot) + 1
+		if m.kind == CCC {
+			m.time++ // the cycle hop onto the cube edge
+		}
+	}
+	m.comm += int64(m.n)
+}
+
+// parallelFor runs body over the processor range on the worker pool.
+func (m *Machine) parallelFor(n int, body func(p int)) {
+	w := m.workers
+	if n < 256 || w <= 1 {
+		for p := 0; p < n; p++ {
+			body(p)
+		}
+		return
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for p := lo; p < hi; p++ {
+				body(p)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Subcubes partitions the machine into 2^k complete sub-hypercubes of
+// dimension d-k (fixing the high k address bits) and runs body on each; the
+// parent is charged the maximum child time (the subcubes operate
+// simultaneously) and the summed work. Subcube c comprises parent
+// processors c*2^(d-k) .. (c+1)*2^(d-k)-1; the body addresses them by their
+// low d-k bits. This realises the paper's requirement that recursive
+// subproblems be assigned to complete sub-hypercubes (Theorem 3.2).
+func (m *Machine) Subcubes(k int, body func(c int, sub *Machine)) {
+	if k < 0 || k > m.d {
+		panic(fmt.Sprintf("hypercube: Subcubes(%d) of a %d-cube", k, m.d))
+	}
+	var maxTime int64
+	var sumComm, sumLocal int64
+	for c := 0; c < 1<<k; c++ {
+		sub := New(m.kind, m.d-k)
+		sub.workers = m.workers
+		body(c, sub)
+		if sub.time > maxTime {
+			maxTime = sub.time
+		}
+		sumComm += sub.comm
+		sumLocal += sub.local
+	}
+	m.time += maxTime
+	m.comm += sumComm
+	m.local += sumLocal
+}
+
+// ParallelDo composes independent sub-computations running simultaneously
+// on disjoint processor groups: branch b runs on a fresh machine of
+// dimension dims[b] and the same network kind. The parent is charged the
+// maximum branch time and the summed work and communication, mirroring
+// pram.ParallelDo. Branch data must first be routed into position on the
+// parent (charged), after which identifying branch processors with a group
+// of parent processors is pure relabelling.
+func (m *Machine) ParallelDo(dims []int, body func(b int, sub *Machine)) {
+	var maxTime, sumComm, sumLocal int64
+	for b := range dims {
+		sub := New(m.kind, dims[b])
+		sub.workers = m.workers
+		body(b, sub)
+		if sub.time > maxTime {
+			maxTime = sub.time
+		}
+		sumComm += sub.comm
+		sumLocal += sub.local
+	}
+	m.time += maxTime
+	m.comm += sumComm
+	m.local += sumLocal
+}
+
+// Vec is one local memory cell per processor.
+type Vec[T any] struct {
+	m    *Machine
+	vals []T
+}
+
+// NewVec allocates a cell on every processor, initialised by init (nil
+// gives zero values). Initialisation is input placement and costs nothing.
+func NewVec[T any](m *Machine, init func(p int) T) *Vec[T] {
+	v := &Vec[T]{m: m, vals: make([]T, m.n)}
+	if init != nil {
+		for p := range v.vals {
+			v.vals[p] = init(p)
+		}
+	}
+	return v
+}
+
+// Get returns processor p's cell. Algorithm bodies must call it only with
+// their own processor index (local memory!); cross-processor reads must go
+// through Exchange.
+func (v *Vec[T]) Get(p int) T { return v.vals[p] }
+
+// Set assigns processor p's cell, with the same locality obligation.
+func (v *Vec[T]) Set(p int, x T) { v.vals[p] = x }
+
+// Snapshot copies all cells out (verification only).
+func (v *Vec[T]) Snapshot() []T {
+	out := make([]T, len(v.vals))
+	copy(out, v.vals)
+	return out
+}
+
+// Exchange performs one communication step across dimension dim: it
+// returns a fresh Vec holding, at each processor p, the value the
+// neighbour p XOR 2^dim held in v. One charged step (plus emulation
+// overhead on CCC / shuffle-exchange).
+func Exchange[T any](m *Machine, dim int, v *Vec[T]) *Vec[T] {
+	m.exchangeCharge(dim)
+	out := &Vec[T]{m: m, vals: make([]T, m.n)}
+	mask := 1 << dim
+	m.parallelFor(m.n, func(p int) {
+		out.vals[p] = v.vals[p^mask]
+	})
+	return out
+}
+
+// CondSwap performs one compare-exchange step across dimension dim:
+// neighbours p < q = p XOR 2^dim exchange values, and keep(p, mine, theirs)
+// decides what p retains. It is the building block of bitonic sorting. One
+// charged step.
+func CondSwap[T any](m *Machine, dim int, v *Vec[T], keep func(p int, mine, theirs T) T) {
+	m.exchangeCharge(dim)
+	mask := 1 << dim
+	next := make([]T, m.n)
+	m.parallelFor(m.n, func(p int) {
+		next[p] = keep(p, v.vals[p], v.vals[p^mask])
+	})
+	v.vals = next
+}

@@ -1,0 +1,299 @@
+package hypercube
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScanSum(t *testing.T) {
+	m := NewCube(5)
+	v := NewVec(m, func(p int) int { return p + 1 })
+	tot := Scan(m, v, func(a, b int) int { return a + b })
+	for p := 0; p < 32; p++ {
+		want := (p + 1) * (p + 2) / 2
+		if v.Get(p) != want {
+			t.Fatalf("prefix[%d] = %d, want %d", p, v.Get(p), want)
+		}
+		if tot.Get(p) != 32*33/2 {
+			t.Fatalf("total at %d = %d", p, tot.Get(p))
+		}
+	}
+}
+
+func TestScanNonCommutativeOp(t *testing.T) {
+	// String concatenation exposes operand-order bugs.
+	m := NewCube(3)
+	v := NewVec(m, func(p int) string { return string(rune('a' + p)) })
+	Scan(m, v, func(a, b string) string { return a + b })
+	if v.Get(7) != "abcdefgh" {
+		t.Fatalf("prefix concat = %q", v.Get(7))
+	}
+	if v.Get(3) != "abcd" {
+		t.Fatalf("prefix concat at 3 = %q", v.Get(3))
+	}
+}
+
+func TestScanExclusive(t *testing.T) {
+	m := NewCube(4)
+	v := NewVec(m, func(p int) int { return 1 })
+	tot := ScanExclusive(m, v, 0, func(a, b int) int { return a + b })
+	for p := 0; p < 16; p++ {
+		if v.Get(p) != p {
+			t.Fatalf("exclusive[%d] = %d", p, v.Get(p))
+		}
+	}
+	if tot.Get(5) != 16 {
+		t.Fatal("total wrong")
+	}
+}
+
+func TestShiftPrev(t *testing.T) {
+	m := NewCube(4)
+	v := NewVec(m, func(p int) int { return p * p })
+	out := ShiftPrev(m, v, -7)
+	if out.Get(0) != -7 {
+		t.Fatalf("fill = %d", out.Get(0))
+	}
+	for p := 1; p < 16; p++ {
+		if out.Get(p) != (p-1)*(p-1) {
+			t.Fatalf("shift[%d] = %d", p, out.Get(p))
+		}
+	}
+}
+
+func TestSegScan(t *testing.T) {
+	m := NewCube(3)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	heads := []bool{true, false, true, false, false, true, false, false}
+	v := NewVec(m, func(p int) int { return vals[p] })
+	h := NewVec(m, func(p int) bool { return heads[p] })
+	SegScan(m, v, h, func(a, b int) int { return a + b })
+	want := []int{1, 3, 3, 7, 12, 6, 13, 21}
+	for p, w := range want {
+		if v.Get(p) != w {
+			t.Fatalf("segscan %v want %v", v.Snapshot(), want)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, src := range []int{0, 5, 15} {
+		m := NewCube(4)
+		v := NewVec(m, func(p int) int { return p * 100 })
+		Broadcast(m, src, v)
+		for p := 0; p < 16; p++ {
+			if v.Get(p) != src*100 {
+				t.Fatalf("broadcast from %d: proc %d has %d", src, p, v.Get(p))
+			}
+		}
+	}
+}
+
+func TestReplicateLow(t *testing.T) {
+	m := NewCube(5)
+	v := NewVec(m, func(p int) int {
+		if p < 8 {
+			return 1000 + p
+		}
+		return -1
+	})
+	ReplicateLow(m, 3, v)
+	for p := 0; p < 32; p++ {
+		if v.Get(p) != 1000+p%8 {
+			t.Fatalf("replicate: proc %d has %d", p, v.Get(p))
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	m := NewCube(4)
+	v := NewVec(m, func(p int) int { return p })
+	lists := AllGather(m, 2, v)
+	for p := 0; p < 16; p++ {
+		base := p &^ 3
+		l := lists.Get(p)
+		if len(l) != 4 {
+			t.Fatalf("list len %d", len(l))
+		}
+		for i := 0; i < 4; i++ {
+			if l[i] != base+i {
+				t.Fatalf("proc %d list %v", p, l)
+			}
+		}
+	}
+}
+
+func TestRouteMonotoneViaSend(t *testing.T) {
+	m := NewCube(5)
+	// every 3rd processor sends to processor 2*rank
+	out := Send(m,
+		func(p int) bool { return p%3 == 0 },
+		func(p int) int { return p * 10 },
+		func(p int) int { return (p / 3) * 2 },
+	)
+	for p := 0; p < 32; p++ {
+		want := false
+		if p%2 == 0 && p/2*3 < 32 {
+			want = true
+		}
+		got := out.Get(p)
+		if got.Ok != want {
+			t.Fatalf("proc %d: ok=%v want %v", p, got.Ok, want)
+		}
+		if got.Ok && got.Val != (p/2*3)*10 {
+			t.Fatalf("proc %d got %d", p, got.Val)
+		}
+	}
+}
+
+func TestSendOutOfRange(t *testing.T) {
+	m := NewCube(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range destination should panic")
+		}
+	}()
+	Send(m,
+		func(p int) bool { return p == 0 },
+		func(p int) int { return 1 },
+		func(p int) int { return 9 },
+	)
+}
+
+func TestConcentrate(t *testing.T) {
+	m := NewCube(5)
+	v := NewVec(m, func(p int) Opt[int] {
+		if p%4 == 1 {
+			return Some(p)
+		}
+		return Opt[int]{}
+	})
+	out, count := Concentrate(m, v)
+	if count != 8 {
+		t.Fatalf("count = %d", count)
+	}
+	for r := 0; r < 8; r++ {
+		got := out.Get(r)
+		if !got.Ok || got.Val != 4*r+1 {
+			t.Fatalf("packed[%d] = %+v", r, got)
+		}
+	}
+	for p := 8; p < 32; p++ {
+		if out.Get(p).Ok {
+			t.Fatalf("proc %d should be empty", p)
+		}
+	}
+}
+
+func TestMonotoneRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		d := 3 + rng.Intn(5)
+		m := NewCube(d)
+		n := m.Size()
+		src := NewVec(m, func(p int) int { return p*7 + 1 })
+		// random nondecreasing index vector
+		idxs := make([]int, n)
+		cur := 0
+		for i := range idxs {
+			if rng.Intn(3) == 0 && cur < n-1 {
+				cur += 1 + rng.Intn(n-cur-1)
+			}
+			idxs[i] = cur
+		}
+		idx := NewVec(m, func(p int) int { return idxs[p] })
+		out := MonotoneRead(m, src, idx)
+		for p := 0; p < n; p++ {
+			if out.Get(p) != idxs[p]*7+1 {
+				t.Fatalf("trial %d: read[%d] = %d, want src[%d]=%d",
+					trial, p, out.Get(p), idxs[p], idxs[p]*7+1)
+			}
+		}
+	}
+}
+
+func TestMonotoneReadLogSteps(t *testing.T) {
+	stepsFor := func(d int) int64 {
+		m := NewCube(d)
+		src := NewVec(m, func(p int) int { return p })
+		idx := NewVec(m, func(p int) int { return p / 2 })
+		MonotoneRead(m, src, idx)
+		return m.Time()
+	}
+	s6, s12 := stepsFor(6), stepsFor(12)
+	if s12 > 3*s6 {
+		t.Fatalf("MonotoneRead not O(d): %d -> %d", s6, s12)
+	}
+}
+
+func TestBitonicSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + rng.Intn(6)
+		m := NewCube(d)
+		vals := make([]int, m.Size())
+		for i := range vals {
+			vals[i] = rng.Intn(1000)*64 + i // distinct keys
+		}
+		v := NewVec(m, func(p int) int { return vals[p] })
+		BitonicSort(m, v, func(a, b int) bool { return a < b })
+		got := v.Snapshot()
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: sort mismatch at %d: %v", trial, i, got)
+			}
+		}
+	}
+}
+
+func TestBitonicSortStepCount(t *testing.T) {
+	m := NewCube(6)
+	v := NewVec(m, func(p int) int { return -p })
+	BitonicSort(m, v, func(a, b int) bool { return a < b })
+	if m.Time() != 6*7/2 {
+		t.Fatalf("bitonic steps = %d, want 21", m.Time())
+	}
+}
+
+func TestQuickPrimitivesOnAllKinds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(5)
+		vals := make([]int, 1<<d)
+		for i := range vals {
+			vals[i] = rng.Intn(100)
+		}
+		var ref []int
+		for _, kind := range []Kind{Cube, CCC, Shuffle} {
+			m := New(kind, d)
+			v := NewVec(m, func(p int) int { return vals[p] })
+			Scan(m, v, func(a, b int) int { return a + b })
+			if ref == nil {
+				ref = v.Snapshot()
+				acc := 0
+				for i, x := range vals {
+					acc += x
+					if ref[i] != acc {
+						return false
+					}
+				}
+			} else {
+				s := v.Snapshot()
+				for i := range ref {
+					if s[i] != ref[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

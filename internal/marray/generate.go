@@ -1,0 +1,167 @@
+package marray
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomMonge returns a dense m x n Monge array built by the cumulative-sum
+// construction: a[i,j] = r[i] + c[j] + sum_{k<=i, l<=j} q[k][l] with every
+// q[k][l] <= 0. The cross difference of any 2x2 minor is then the sum of a
+// rectangle of q values, so the Monge inequality holds with equality exactly
+// when the rectangle is empty. r and c are arbitrary, which exercises
+// searching code against non-monotone rows and columns.
+func RandomMonge(rng *rand.Rand, m, n int) *Dense {
+	d := NewDense(m, n)
+	rowOff := make([]float64, m)
+	colOff := make([]float64, n)
+	for i := range rowOff {
+		rowOff[i] = rng.Float64()*200 - 100
+	}
+	for j := range colOff {
+		colOff[j] = rng.Float64()*200 - 100
+	}
+	// After processing row i, prefix[j] = sum_{k<=i, l<=j} q[k][l].
+	prefix := make([]float64, n)
+	for i := 0; i < m; i++ {
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			q := -rng.Float64() * 10 // q <= 0
+			acc += q
+			prefix[j] += acc
+			d.Set(i, j, rowOff[i]+colOff[j]+prefix[j])
+		}
+	}
+	return d
+}
+
+// RandomInverseMonge returns a dense m x n inverse-Monge array (the
+// negation of a RandomMonge array, re-centered so values stay in a similar
+// range).
+func RandomInverseMonge(rng *rand.Rand, m, n int) *Dense {
+	d := RandomMonge(rng, m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			d.Set(i, j, -d.At(i, j))
+		}
+	}
+	return d
+}
+
+// RandomStaircaseMonge returns a dense m x n staircase-Monge array: a
+// RandomMonge core with entries at and beyond a random nonincreasing
+// per-row boundary replaced by +Inf. With probability ~1/4 the boundary is
+// all-n (a plain Monge array), since plain Monge arrays are a special case
+// the paper's algorithms must handle.
+func RandomStaircaseMonge(rng *rand.Rand, m, n int) *Dense {
+	d := RandomMonge(rng, m, n)
+	if rng.Intn(4) == 0 {
+		return d
+	}
+	bounds := RandomStaircaseBoundary(rng, m, n)
+	for i := 0; i < m; i++ {
+		for j := bounds[i]; j < n; j++ {
+			d.Set(i, j, Inf)
+		}
+	}
+	return d
+}
+
+// RandomStaircaseBoundary returns a nonincreasing boundary vector f of
+// length m with 0 <= f[i] <= n and f[0] biased high so most of the array
+// stays finite.
+func RandomStaircaseBoundary(rng *rand.Rand, m, n int) []int {
+	f := make([]int, m)
+	cur := n - rng.Intn(n/4+1)
+	for i := 0; i < m; i++ {
+		if rng.Intn(3) == 0 && cur > 0 {
+			cur -= rng.Intn(minInt(cur, maxInt(1, n/m+1)) + 1)
+		}
+		if cur < 0 {
+			cur = 0
+		}
+		f[i] = cur
+	}
+	return f
+}
+
+// RandomComposite returns a p x q x r Monge-composite array with random
+// Monge factors.
+func RandomComposite(rng *rand.Rand, p, q, r int) Composite {
+	return NewComposite(RandomMonge(rng, p, q), RandomMonge(rng, q, r))
+}
+
+// ConvexGapMonge returns the implicit m x n Monge array
+// a[i,j] = r[i] + c[j] + h(j - i) for a convex gap penalty h, the standard
+// Monge family of the sequence-alignment literature ([LS89, EGGI90]):
+// convexity of h in the gap makes every 2x2 minor satisfy the Monge
+// inequality.
+func ConvexGapMonge(rowOff, colOff []float64, h func(gap int) float64) Matrix {
+	return Func{M: len(rowOff), N: len(colOff), F: func(i, j int) float64 {
+		return rowOff[i] + colOff[j] + h(j-i)
+	}}
+}
+
+// Point is a planar point, used by the geometric generators.
+type Point struct{ X, Y float64 }
+
+// ConvexChainPair samples a convex polygon with m+n vertices on an ellipse
+// (randomly perturbed radii kept convex by construction on sorted angles of
+// a circle) and splits it into two chains P (counterclockwise, m vertices)
+// and Q (counterclockwise, n vertices), as in Figure 1.1 of the paper.
+func ConvexChainPair(rng *rand.Rand, m, n int) (p, q []Point) {
+	total := m + n
+	pts := ConvexPolygon(rng, total)
+	return pts[:m], pts[m:]
+}
+
+// ConvexPolygon returns total >= 3 points in convex position, in
+// counterclockwise order, sampled as distinct angles on a circle of random
+// radius with a random center. Points on a circle are always in convex
+// position.
+func ConvexPolygon(rng *rand.Rand, total int) []Point {
+	angles := make([]float64, total)
+	// Distinct sorted angles in [0, 2*pi): take random positive gaps.
+	sum := 0.0
+	for i := range angles {
+		g := rng.Float64() + 0.05
+		sum += g
+		angles[i] = sum
+	}
+	scale := 2 * math.Pi / (sum + rng.Float64() + 0.05)
+	r := 50 + rng.Float64()*50
+	cx, cy := rng.Float64()*20-10, rng.Float64()*20-10
+	pts := make([]Point, total)
+	for i, a := range angles {
+		t := a * scale
+		pts[i] = Point{X: cx + r*math.Cos(t), Y: cy + r*math.Sin(t)}
+	}
+	return pts
+}
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b Point) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+
+// ChainDistanceMatrix returns the implicit m x n array of Euclidean
+// distances a[i][j] = d(p[i], q[j]) between two convex chains obtained by
+// splitting one convex polygon. By the quadrangle inequality this array is
+// inverse-Monge (paper, Section 1.2).
+func ChainDistanceMatrix(p, q []Point) Matrix {
+	return Func{M: len(p), N: len(q), F: func(i, j int) float64 {
+		return Dist(p[i], q[j])
+	}}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package pram
+
+import "math"
+
+// The All Nearest Smaller Values problem (Berkman, Breslauer, Galil,
+// Schieber, Vishkin [BBG+89]): given a list a[0..n), find for every i the
+// nearest index to its left and to its right holding a strictly smaller
+// value. The paper's Lemma 2.2 uses ANSV to identify, for each sampled-row
+// minimum, its "bracketing" minimum (nearest north-west neighbour), which
+// drives processor allocation for the feasible Monge regions.
+
+// ANSVSeq solves ANSV sequentially with the classic stack scan. left[i] is
+// the largest j < i with a[j] < a[i] (or -1), right[i] the smallest j > i
+// with a[j] < a[i] (or n). O(n) time.
+func ANSVSeq(a []float64) (left, right []int) {
+	n := len(a)
+	left = make([]int, n)
+	right = make([]int, n)
+	stack := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		for len(stack) > 0 && a[stack[len(stack)-1]] >= a[i] {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			left[i] = -1
+		} else {
+			left[i] = stack[len(stack)-1]
+		}
+		stack = append(stack, i)
+	}
+	stack = stack[:0]
+	for i := n - 1; i >= 0; i-- {
+		for len(stack) > 0 && a[stack[len(stack)-1]] >= a[i] {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			right[i] = n
+		} else {
+			right[i] = stack[len(stack)-1]
+		}
+		stack = append(stack, i)
+	}
+	return left, right
+}
+
+// ANSV solves ANSV on the machine in O(lg n) parallel time with n
+// processors: a complete binary min-tree is built bottom-up in ceil(lg n)
+// supersteps, then every element locates its nearest smaller neighbours
+// with an O(lg n) tree walk (one superstep of cost 2*lg n). The
+// work-optimal n/lg n-processor version of [BBG+89] is simulated by
+// Brent's scheduling when the machine declares fewer processors.
+func ANSV(m *Machine, a *Array[float64]) (left, right *Array[int]) {
+	n := a.Len()
+	left = NewArray[int](m, n)
+	right = NewArray[int](m, n)
+	if n == 0 {
+		return left, right
+	}
+	// Pad to a power of two; tree[size+i] = a[i], internal node v covers
+	// its subtree's minimum.
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	inf := math.Inf(1)
+	tree := NewArray[float64](m, 2*size)
+	m.Step(2*size, func(id int) {
+		if id >= size && id-size < n {
+			tree.Write(id, id, a.Read(id-size))
+		} else {
+			tree.Write(id, id, inf)
+		}
+	})
+	for lvl := size / 2; lvl >= 1; lvl /= 2 {
+		l := lvl
+		m.Step(l, func(id int) {
+			v := l + id
+			x, y := tree.Read(2*v), tree.Read(2*v+1)
+			if y < x {
+				x = y
+			}
+			tree.Write(id, v, x)
+		})
+	}
+	lg := Log2Ceil(size) + 1
+	// Left pass: climb from the leaf until some left sibling's subtree
+	// holds a smaller value, then descend to its rightmost smaller leaf.
+	m.StepCost(n, 2*lg, func(id int) {
+		x := a.Read(id)
+		v := size + id
+		for v > 1 {
+			if v%2 == 1 && tree.Read(v-1) < x {
+				// descend into v-1 seeking the rightmost leaf < x
+				u := v - 1
+				for u < size {
+					if tree.Read(2*u+1) < x {
+						u = 2*u + 1
+					} else {
+						u = 2 * u
+					}
+				}
+				left.Write(id, id, u-size)
+				return
+			}
+			v /= 2
+		}
+		left.Write(id, id, -1)
+	})
+	// Right pass, symmetric: leftmost smaller leaf to the right.
+	m.StepCost(n, 2*lg, func(id int) {
+		x := a.Read(id)
+		v := size + id
+		for v > 1 {
+			if v%2 == 0 && tree.Read(v+1) < x {
+				u := v + 1
+				for u < size {
+					if tree.Read(2*u) < x {
+						u = 2 * u
+					} else {
+						u = 2*u + 1
+					}
+				}
+				right.Write(id, id, u-size)
+				return
+			}
+			v /= 2
+		}
+		right.Write(id, id, n)
+	})
+	return left, right
+}

@@ -1,0 +1,146 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ansvBrute(a []float64) (left, right []int) {
+	n := len(a)
+	left = make([]int, n)
+	right = make([]int, n)
+	for i := range a {
+		left[i] = -1
+		for j := i - 1; j >= 0; j-- {
+			if a[j] < a[i] {
+				left[i] = j
+				break
+			}
+		}
+		right[i] = n
+		for j := i + 1; j < n; j++ {
+			if a[j] < a[i] {
+				right[i] = j
+				break
+			}
+		}
+	}
+	return left, right
+}
+
+func eqI(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestANSVSeqSmall(t *testing.T) {
+	a := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	left, right := ANSVSeq(a)
+	wl, wr := ansvBrute(a)
+	if !eqI(left, wl) || !eqI(right, wr) {
+		t.Fatalf("got %v %v want %v %v", left, right, wl, wr)
+	}
+}
+
+func TestANSVSeqTies(t *testing.T) {
+	// Equal values are NOT smaller: strictly smaller semantics.
+	a := []float64{2, 2, 2}
+	left, right := ANSVSeq(a)
+	for i := range a {
+		if left[i] != -1 || right[i] != 3 {
+			t.Fatalf("ties must not count: %v %v", left, right)
+		}
+	}
+}
+
+func TestANSVSeqRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = float64(rng.Intn(20))
+		}
+		left, right := ANSVSeq(a)
+		wl, wr := ansvBrute(a)
+		if !eqI(left, wl) || !eqI(right, wr) {
+			t.Fatalf("trial %d mismatch", trial)
+		}
+	}
+}
+
+func TestANSVParallelMatchesSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(300)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(25))
+		}
+		m := New(CREW, n)
+		a := NewArray[float64](m, n)
+		a.Fill(vals)
+		left, right := ANSV(m, a)
+		wl, wr := ANSVSeq(vals)
+		if !eqI(left.Snapshot(), wl) || !eqI(right.Snapshot(), wr) {
+			t.Fatalf("trial %d (n=%d):\n got %v %v\nwant %v %v",
+				trial, n, left.Snapshot(), right.Snapshot(), wl, wr)
+		}
+	}
+}
+
+func TestANSVParallelLogSteps(t *testing.T) {
+	stepsFor := func(n int) int64 {
+		m := New(CREW, n)
+		a := NewArray[float64](m, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, float64(i%17))
+		}
+		ANSV(m, a)
+		return m.Steps()
+	}
+	// Supersteps: tree build lg n + 2 walk steps + init; ratio between
+	// n=4096 and n=64 should be about 12/6 = 2, far from the 64x data ratio.
+	s64, s4096 := stepsFor(64), stepsFor(4096)
+	if s4096 > 2*s64 {
+		t.Fatalf("ANSV steps not logarithmic: %d -> %d", s64, s4096)
+	}
+}
+
+func TestANSVEmpty(t *testing.T) {
+	m := New(CREW, 1)
+	a := NewArray[float64](m, 0)
+	left, right := ANSV(m, a)
+	if left.Len() != 0 || right.Len() != 0 {
+		t.Fatal("empty ANSV should give empty outputs")
+	}
+}
+
+func TestQuickANSVParallel(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(128)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 10
+		}
+		m := New(CRCW, n)
+		a := NewArray[float64](m, n)
+		a.Fill(vals)
+		left, right := ANSV(m, a)
+		wl, wr := ANSVSeq(vals)
+		return eqI(left.Snapshot(), wl) && eqI(right.Snapshot(), wr)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

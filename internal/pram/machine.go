@@ -1,0 +1,312 @@
+// Package pram provides a step-synchronous PRAM simulator with CREW and
+// CRCW modes, plus the standard PRAM primitives (parallel prefix, reduce,
+// broadcast, pack, segmented scan, and All Nearest Smaller Values) used by
+// the paper's algorithms.
+//
+// # Model
+//
+// A Machine is created with a declared processor count P and a memory
+// access mode. An algorithm executes a sequence of supersteps via Step: all
+// virtual processors of a superstep read the shared state as it was at the
+// beginning of the step, and their writes take effect when the step ends
+// (writes are buffered and flushed at a synchronization barrier). A
+// superstep with n virtual processors whose body performs O(1) work costs
+// ceil(n/P) time units, which is exactly Brent's scheduling of n virtual
+// processors onto P physical ones; StepCost is used when a body performs t
+// elementary operations so the accounting stays honest.
+//
+// In CREW mode the machine verifies that no two distinct processors write
+// the same cell in the same step and panics with a *ConflictError
+// otherwise. In CRCW mode concurrent writes are resolved by the priority
+// rule (lowest processor id wins), which is deterministic and at least as
+// strong as the common and arbitrary CRCW variants assumed by the paper.
+//
+// Supersteps execute on a real goroutine pool, so the simulation is itself
+// parallel, but the reproduced quantities are the step/time/work counters,
+// not wall-clock speed.
+package pram
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects the memory access discipline of a Machine.
+type Mode int
+
+const (
+	// CREW permits concurrent reads and exclusive writes; concurrent
+	// writes to one cell in one step are reported as conflicts.
+	CREW Mode = iota
+	// CRCW permits concurrent reads and concurrent writes; write conflicts
+	// are resolved by priority (lowest processor id wins).
+	CRCW
+)
+
+// String returns the conventional name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case CREW:
+		return "CREW"
+	case CRCW:
+		return "CRCW"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ConflictError reports a CREW write conflict. It is delivered by panic
+// from Machine.Step, since a conflicting program is incorrect by
+// definition.
+type ConflictError struct {
+	Index      int // memory cell index
+	Pid1, Pid2 int // the two writers
+}
+
+// Error describes the conflict.
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("pram: CREW write conflict on cell %d by processors %d and %d",
+		e.Index, e.Pid1, e.Pid2)
+}
+
+// Machine is a simulated PRAM.
+type Machine struct {
+	mode  Mode
+	procs int
+
+	time  int64 // Brent-adjusted parallel time units
+	steps int64 // number of supersteps
+	work  int64 // total virtual processor activations
+
+	stepID  int64
+	workers int
+
+	// dirty lists the arrays with pending writes in the current step; an
+	// array registers itself on its first write of a step and is flushed
+	// and cleared at the step barrier. Tracking only dirty arrays keeps
+	// step cost independent of how many arrays were ever allocated and
+	// lets abandoned temporaries be garbage collected.
+	dirtyMu sync.Mutex
+	dirty   []flusher
+}
+
+type flusher interface {
+	flush(m *Machine)
+}
+
+// markDirty registers f for flushing at the end of the current step.
+func (m *Machine) markDirty(f flusher) {
+	m.dirtyMu.Lock()
+	m.dirty = append(m.dirty, f)
+	m.dirtyMu.Unlock()
+}
+
+// New returns a Machine with the given mode and declared processor count.
+// The processor count only affects the time accounting (Brent scheduling);
+// the simulation always uses all available cores.
+func New(mode Mode, procs int) *Machine {
+	if procs < 1 {
+		procs = 1
+	}
+	return &Machine{mode: mode, procs: procs, workers: runtime.GOMAXPROCS(0)}
+}
+
+// Mode returns the machine's memory access mode.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// Procs returns the declared processor count.
+func (m *Machine) Procs() int { return m.procs }
+
+// Time returns the accumulated Brent-adjusted parallel time: the sum over
+// supersteps of cost * ceil(n/P).
+func (m *Machine) Time() int64 { return m.time }
+
+// Steps returns the number of supersteps executed.
+func (m *Machine) Steps() int64 { return m.steps }
+
+// Work returns the total number of virtual processor activations, weighted
+// by per-step cost (the processor-time product of the simulated program).
+func (m *Machine) Work() int64 { return m.work }
+
+// Reset clears the cost counters (registered arrays keep their contents).
+func (m *Machine) Reset() {
+	m.time, m.steps, m.work = 0, 0, 0
+}
+
+// Step executes one superstep with n virtual processors, each running
+// body(id) for its zero-based id. The body must perform O(1) work; use
+// StepCost otherwise. Reads performed through Array handles observe the
+// state at the beginning of the step; writes are applied when the step
+// completes.
+func (m *Machine) Step(n int, body func(id int)) {
+	m.StepCost(n, 1, body)
+}
+
+// StepCost is Step for bodies that perform cost elementary operations
+// each; the time charge is cost * ceil(n/P) and the work charge is
+// cost * n.
+func (m *Machine) StepCost(n, cost int, body func(id int)) {
+	if n <= 0 {
+		return
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	m.steps++
+	m.time += int64(cost) * int64((n+m.procs-1)/m.procs)
+	m.work += int64(cost) * int64(n)
+	m.stepID++
+
+	m.parallelFor(n, body)
+
+	for _, a := range m.dirty {
+		a.flush(m)
+	}
+	m.dirty = m.dirty[:0]
+}
+
+// Sequential runs body outside the parallel cost model (for setup and
+// verification code in tests and benchmarks). It costs nothing and flushes
+// nothing; do not call Array.Write from it.
+func (m *Machine) Sequential(body func()) { body() }
+
+// parallelFor executes body(0..n-1) on the worker pool.
+func (m *Machine) parallelFor(n int, body func(id int)) {
+	w := m.workers
+	if n < 128 || w <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// shardCount is the number of write-buffer shards per array; writes are
+// sharded by cell index to reduce lock contention.
+const shardCount = 64
+
+type writeRec[T any] struct {
+	idx int
+	pid int
+	val T
+}
+
+type shard[T any] struct {
+	mu   sync.Mutex
+	recs []writeRec[T]
+}
+
+// Array is a shared-memory vector of T living on a Machine. Reads return
+// the value committed at the last step boundary; writes become visible
+// when the current step ends.
+type Array[T any] struct {
+	m      *Machine
+	vals   []T
+	stamp  []int64 // stepID of the last pending/committed write this step
+	owner  []int32 // winning writer pid for the current step
+	dirty  int32   // 1 while registered in the machine's dirty list
+	shards [shardCount]shard[T]
+}
+
+// NewArray allocates a shared array of length n filled with the zero
+// value on machine m.
+func NewArray[T any](m *Machine, n int) *Array[T] {
+	return &Array[T]{
+		m:     m,
+		vals:  make([]T, n),
+		stamp: make([]int64, n),
+		owner: make([]int32, n),
+	}
+}
+
+// Len returns the array length.
+func (a *Array[T]) Len() int { return len(a.vals) }
+
+// Read returns the committed value of cell i.
+func (a *Array[T]) Read(i int) T { return a.vals[i] }
+
+// Write records a pending write of v to cell i by processor pid; it takes
+// effect at the end of the current step.
+func (a *Array[T]) Write(pid, i int, v T) {
+	if atomic.CompareAndSwapInt32(&a.dirty, 0, 1) {
+		a.m.markDirty(a)
+	}
+	s := &a.shards[i%shardCount]
+	s.mu.Lock()
+	s.recs = append(s.recs, writeRec[T]{idx: i, pid: pid, val: v})
+	s.mu.Unlock()
+}
+
+// Fill sets every cell outside the parallel cost model (initial input
+// placement, as the paper assumes inputs reside in memory at time zero).
+func (a *Array[T]) Fill(vals []T) {
+	copy(a.vals, vals)
+}
+
+// Set assigns one cell outside the parallel cost model.
+func (a *Array[T]) Set(i int, v T) { a.vals[i] = v }
+
+// Snapshot returns a copy of the committed contents.
+func (a *Array[T]) Snapshot() []T {
+	out := make([]T, len(a.vals))
+	copy(out, a.vals)
+	return out
+}
+
+// flush applies pending writes under the machine's conflict rules.
+func (a *Array[T]) flush(m *Machine) {
+	atomic.StoreInt32(&a.dirty, 0)
+	step := m.stepID
+	for si := range a.shards {
+		s := &a.shards[si]
+		if len(s.recs) == 0 {
+			continue
+		}
+		for _, r := range s.recs {
+			if a.stamp[r.idx] != step {
+				a.stamp[r.idx] = step
+				a.owner[r.idx] = int32(r.pid)
+				a.vals[r.idx] = r.val
+				continue
+			}
+			cur := int(a.owner[r.idx])
+			switch {
+			case r.pid == cur:
+				// Later write by the same processor wins (program order
+				// within one processor is preserved by the shard slice).
+				a.vals[r.idx] = r.val
+			case m.mode == CREW:
+				panic(&ConflictError{Index: r.idx, Pid1: cur, Pid2: r.pid})
+			case r.pid < cur:
+				// Priority CRCW: lowest pid wins.
+				a.owner[r.idx] = int32(r.pid)
+				a.vals[r.idx] = r.val
+			}
+		}
+		s.recs = s.recs[:0]
+	}
+}

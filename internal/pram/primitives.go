@@ -1,0 +1,217 @@
+package pram
+
+import "math/bits"
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1, and 0 for n <= 1. It is the
+// step-count yardstick used throughout the cost accounting.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// LogLog2Ceil returns ceil(log2(max(2, ceil(log2 n)))), the lg lg n
+// yardstick (at least 1).
+func LogLog2Ceil(n int) int {
+	l := Log2Ceil(n)
+	if l < 2 {
+		l = 2
+	}
+	return Log2Ceil(l)
+}
+
+// Scan replaces a with its inclusive prefix combination under op, using
+// the Hillis-Steele doubling scheme: ceil(lg n) supersteps of n virtual
+// processors. op must be associative. The end-of-step write buffering makes
+// the in-place doubling exact: every read in a step observes the previous
+// step's values.
+func Scan[T any](m *Machine, a *Array[T], op func(T, T) T) {
+	n := a.Len()
+	for d := 1; d < n; d *= 2 {
+		dd := d
+		m.Step(n, func(id int) {
+			if id >= dd {
+				a.Write(id, id, op(a.Read(id-dd), a.Read(id)))
+			}
+		})
+	}
+}
+
+// ScanExclusive writes into out the exclusive prefix combination of a
+// (out[0] = identity). a and out must be distinct arrays of equal length.
+// The final shift reads out[id-1] and writes out[id] in one step, which the
+// end-of-step write buffering makes exact.
+func ScanExclusive[T any](m *Machine, a, out *Array[T], identity T, op func(T, T) T) {
+	n := a.Len()
+	m.Step(n, func(id int) { out.Write(id, id, a.Read(id)) })
+	Scan(m, out, op)
+	m.Step(n, func(id int) {
+		if id == 0 {
+			out.Write(id, 0, identity)
+		} else {
+			out.Write(id, id, out.Read(id-1))
+		}
+	})
+}
+
+// Reduce combines all elements of a under op with a work-efficient
+// binary-tree reduction (ceil(lg n) supersteps, halving processor counts)
+// and returns the result. a is consumed as scratch space.
+func Reduce[T any](m *Machine, a *Array[T], op func(T, T) T) T {
+	n := a.Len()
+	if n == 0 {
+		var zero T
+		return zero
+	}
+	for width := n; width > 1; width = (width + 1) / 2 {
+		half := (width + 1) / 2
+		m.Step(width/2, func(id int) {
+			a.Write(id, id, op(a.Read(id), a.Read(half+id)))
+		})
+	}
+	return a.Read(0)
+}
+
+// ValIdx pairs a value with its index; reductions over ValIdx implement
+// argmin/argmax with deterministic leftmost tie-breaking.
+type ValIdx struct {
+	V float64
+	I int
+}
+
+// MinVI returns the smaller of two ValIdx pairs, preferring the lower
+// index on ties.
+func MinVI(a, b ValIdx) ValIdx {
+	if b.V < a.V || (b.V == a.V && b.I < a.I) {
+		return b
+	}
+	return a
+}
+
+// MaxVI returns the larger of two ValIdx pairs, preferring the lower index
+// on ties.
+func MaxVI(a, b ValIdx) ValIdx {
+	if b.V > a.V || (b.V == a.V && b.I < a.I) {
+		return b
+	}
+	return a
+}
+
+// Pack computes the stable compaction of the elements of a whose flag is
+// set: it returns a fresh array holding those elements in order and their
+// count. O(lg n) supersteps.
+func Pack[T any](m *Machine, a *Array[T], flag *Array[bool]) (*Array[T], int) {
+	n := a.Len()
+	pos := NewArray[int](m, n)
+	m.Step(n, func(id int) {
+		if flag.Read(id) {
+			pos.Write(id, id, 1)
+		} else {
+			pos.Write(id, id, 0)
+		}
+	})
+	Scan(m, pos, func(x, y int) int { return x + y })
+	total := 0
+	if n > 0 {
+		total = pos.Read(n - 1)
+	}
+	out := NewArray[T](m, total)
+	m.Step(n, func(id int) {
+		if flag.Read(id) {
+			out.Write(id, pos.Read(id)-1, a.Read(id))
+		}
+	})
+	return out, total
+}
+
+// SegScan performs an inclusive segmented scan of a under op: positions
+// where head is true start a new segment. O(lg n) supersteps.
+func SegScan[T any](m *Machine, a *Array[T], head *Array[bool], op func(T, T) T) {
+	n := a.Len()
+	h := NewArray[bool](m, n)
+	m.Step(n, func(id int) { h.Write(id, id, head.Read(id)) })
+	for d := 1; d < n; d *= 2 {
+		dd := d
+		m.Step(n, func(id int) {
+			if id >= dd && !h.Read(id) {
+				a.Write(id, id, op(a.Read(id-dd), a.Read(id)))
+				if h.Read(id - dd) {
+					h.Write(id, id, true)
+				}
+			}
+		})
+	}
+}
+
+// CRCWMinIndex returns the minimum of vals[0:n] with leftmost
+// tie-breaking in O(lg lg n) supersteps on a CRCW machine, using the
+// doubly-logarithmic block recursion (blocks of size sqrt(n) solved
+// recursively, then an all-pairs O(1) round with ~n processors). On a CREW
+// machine it falls back to the O(lg n) tree reduction. The array is not
+// modified.
+func CRCWMinIndex(m *Machine, vals *Array[float64]) ValIdx {
+	n := vals.Len()
+	if n == 0 {
+		return ValIdx{V: 0, I: -1}
+	}
+	cur := NewArray[ValIdx](m, n)
+	m.Step(n, func(id int) {
+		cur.Write(id, id, ValIdx{V: vals.Read(id), I: id})
+	})
+	if m.Mode() != CRCW {
+		return Reduce(m, cur, MinVI)
+	}
+	for size := n; size > 4; {
+		b := isqrt(size)
+		nb := (size + b - 1) / b
+		// All-pairs elimination inside each block: pair (x, y) in a block
+		// marks the loser. This is the O(1) CRCW comparison round; it uses
+		// about size*b <= size^{3/2} virtual processors but only O(1)
+		// supersteps. The standard accounting (n processors, O(lg lg n)
+		// time) applies blocks of sqrt at every level; we charge the true
+		// processor count so Work reflects the simulation honestly.
+		loser := NewArray[bool](m, size)
+		m.Step(size*b, func(id int) {
+			x := id / b
+			blk := x / b
+			y := blk*b + id%b
+			if y >= size || x >= size || x == y {
+				return
+			}
+			a, c := cur.Read(x), cur.Read(y)
+			if MinVI(a, c) == c && (c.V != a.V || c.I != a.I) {
+				loser.Write(id, x, true)
+			}
+		})
+		// Each block's surviving element writes to the block slot.
+		m.Step(size, func(id int) {
+			if !loser.Read(id) {
+				cur.Write(id, id/b, cur.Read(id))
+			}
+		})
+		size = nb
+	}
+	// Finish the (constant-size) remainder with one tiny reduction.
+	final := ValIdx{V: cur.Read(0).V, I: cur.Read(0).I}
+	sz := 4
+	if n < sz {
+		sz = n
+	}
+	for i := 1; i < sz; i++ {
+		final = MinVI(final, cur.Read(i))
+	}
+	return final
+}
+
+// isqrt returns floor(sqrt(x)).
+func isqrt(x int) int {
+	if x < 0 {
+		return 0
+	}
+	r := 0
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}

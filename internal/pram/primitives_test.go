@@ -1,0 +1,261 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogYardsticks(t *testing.T) {
+	cases := []struct{ n, lg int }{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.lg {
+			t.Fatalf("Log2Ceil(%d) = %d, want %d", c.n, got, c.lg)
+		}
+	}
+	if LogLog2Ceil(65536) != 4 {
+		t.Fatalf("LogLog2Ceil(65536) = %d, want 4", LogLog2Ceil(65536))
+	}
+	if LogLog2Ceil(2) < 1 {
+		t.Fatal("LogLog2Ceil must be at least 1")
+	}
+}
+
+func TestScanSum(t *testing.T) {
+	m := New(CREW, 8)
+	n := 100
+	a := NewArray[int](m, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i+1)
+	}
+	Scan(m, a, func(x, y int) int { return x + y })
+	for i := 0; i < n; i++ {
+		want := (i + 1) * (i + 2) / 2
+		if a.Read(i) != want {
+			t.Fatalf("prefix[%d] = %d, want %d", i, a.Read(i), want)
+		}
+	}
+	// lg(100) = 7 doubling rounds
+	if m.Steps() != 7 {
+		t.Fatalf("Scan used %d steps, want 7", m.Steps())
+	}
+}
+
+func TestScanExclusive(t *testing.T) {
+	m := New(CREW, 8)
+	n := 37
+	a := NewArray[int](m, n)
+	out := NewArray[int](m, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, 1)
+	}
+	ScanExclusive(m, a, out, 0, func(x, y int) int { return x + y })
+	for i := 0; i < n; i++ {
+		if out.Read(i) != i {
+			t.Fatalf("exclusive[%d] = %d, want %d", i, out.Read(i), i)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	m := New(CREW, 8)
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 255} {
+		a := NewArray[int](m, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i)
+		}
+		got := Reduce(m, a, func(x, y int) int {
+			if y > x {
+				return y
+			}
+			return x
+		})
+		if got != n-1 {
+			t.Fatalf("Reduce max over %d = %d", n, got)
+		}
+	}
+	empty := NewArray[int](m, 0)
+	if Reduce(m, empty, func(x, y int) int { return x + y }) != 0 {
+		t.Fatal("empty reduce should be zero value")
+	}
+}
+
+func TestMinMaxVI(t *testing.T) {
+	a := ValIdx{V: 1, I: 5}
+	b := ValIdx{V: 1, I: 2}
+	if MinVI(a, b).I != 2 || MaxVI(a, b).I != 2 {
+		t.Fatal("ties must prefer lower index")
+	}
+	c := ValIdx{V: 0, I: 9}
+	if MinVI(a, c).I != 9 || MaxVI(a, c).I != 5 {
+		t.Fatal("value comparison wrong")
+	}
+}
+
+func TestPack(t *testing.T) {
+	m := New(CREW, 8)
+	n := 50
+	a := NewArray[int](m, n)
+	f := NewArray[bool](m, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i)
+		f.Set(i, i%3 == 0)
+	}
+	out, cnt := Pack(m, a, f)
+	want := 0
+	for i := 0; i < n; i += 3 {
+		if out.Read(want) != i {
+			t.Fatalf("packed[%d] = %d, want %d", want, out.Read(want), i)
+		}
+		want++
+	}
+	if cnt != want {
+		t.Fatalf("count = %d, want %d", cnt, want)
+	}
+}
+
+func TestPackEmpty(t *testing.T) {
+	m := New(CREW, 8)
+	a := NewArray[int](m, 10)
+	f := NewArray[bool](m, 10)
+	out, cnt := Pack(m, a, f)
+	if cnt != 0 || out.Len() != 0 {
+		t.Fatal("empty pack wrong")
+	}
+}
+
+func TestSegScan(t *testing.T) {
+	m := New(CREW, 8)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	heads := []bool{true, false, false, true, false, true, false, false}
+	a := NewArray[int](m, len(vals))
+	h := NewArray[bool](m, len(vals))
+	for i := range vals {
+		a.Set(i, vals[i])
+		h.Set(i, heads[i])
+	}
+	SegScan(m, a, h, func(x, y int) int { return x + y })
+	want := []int{1, 3, 6, 4, 9, 6, 13, 21}
+	for i := range want {
+		if a.Read(i) != want[i] {
+			t.Fatalf("segscan[%d] = %d, want %d (all %v)", i, a.Read(i), want[i], a.Snapshot())
+		}
+	}
+}
+
+func TestQuickSegScanMatchesSequential(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		vals := make([]int, n)
+		heads := make([]bool, n)
+		for i := range vals {
+			vals[i] = rng.Intn(100)
+			heads[i] = rng.Intn(4) == 0
+		}
+		heads[0] = true
+		m := New(CREW, 16)
+		a := NewArray[int](m, n)
+		h := NewArray[bool](m, n)
+		for i := range vals {
+			a.Set(i, vals[i])
+			h.Set(i, heads[i])
+		}
+		SegScan(m, a, h, func(x, y int) int { return x + y })
+		acc := 0
+		for i := 0; i < n; i++ {
+			if heads[i] {
+				acc = vals[i]
+			} else {
+				acc += vals[i]
+			}
+			if a.Read(i) != acc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRCWMinIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(500)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(50)) // ties likely
+		}
+		m := New(CRCW, n)
+		a := NewArray[float64](m, n)
+		a.Fill(vals)
+		got := CRCWMinIndex(m, a)
+		want := ValIdx{V: vals[0], I: 0}
+		for i := 1; i < n; i++ {
+			want = MinVI(want, ValIdx{V: vals[i], I: i})
+		}
+		if got != want {
+			t.Fatalf("trial %d (n=%d): got %+v want %+v", trial, n, got, want)
+		}
+		// values must be untouched
+		for i := range vals {
+			if a.Read(i) != vals[i] {
+				t.Fatal("CRCWMinIndex must not modify input")
+			}
+		}
+	}
+}
+
+func TestCRCWMinIndexDoublyLogSteps(t *testing.T) {
+	// The step count must grow like lg lg n, not lg n: compare two sizes.
+	stepsFor := func(n int) int64 {
+		m := New(CRCW, n)
+		a := NewArray[float64](m, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, float64(n-i))
+		}
+		CRCWMinIndex(m, a)
+		return m.Steps()
+	}
+	s256, s65536 := stepsFor(256), stepsFor(65536)
+	// lg lg 256 = 3, lg lg 65536 = 4; allow constant factors but the jump
+	// from 256 to 65536 (256x) must stay small.
+	if s65536 > s256+4 {
+		t.Fatalf("steps grew too fast: %d -> %d", s256, s65536)
+	}
+}
+
+func TestCRCWMinIndexCREWFallback(t *testing.T) {
+	m := New(CREW, 8)
+	a := NewArray[float64](m, 20)
+	for i := 0; i < 20; i++ {
+		a.Set(i, float64((i*7)%13))
+	}
+	got := CRCWMinIndex(m, a)
+	if got.V != 0 || got.I != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestCRCWMinIndexEmpty(t *testing.T) {
+	m := New(CRCW, 1)
+	a := NewArray[float64](m, 0)
+	if got := CRCWMinIndex(m, a); got.I != -1 {
+		t.Fatalf("empty should give I=-1, got %+v", got)
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	for x := 0; x < 500; x++ {
+		r := isqrt(x)
+		if r*r > x || (r+1)*(r+1) <= x {
+			t.Fatalf("isqrt(%d) = %d", x, r)
+		}
+	}
+	if isqrt(-5) != 0 {
+		t.Fatal("negative isqrt should be 0")
+	}
+}

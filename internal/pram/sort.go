@@ -1,0 +1,96 @@
+package pram
+
+// Bitonic sorting and merging on the PRAM: O(lg^2 n) and O(lg n)
+// supersteps respectively with n/2 active processors per step. The paper's
+// Lemma 2.2 allocation "ANSV followed by sorting" uses an O(lg n)-time
+// sort (AKS/Cole); bitonic is the classical practical substitute and its
+// extra lg factor is visible in the harness (the production algorithms in
+// internal/core avoid sorting via closed-form offsets, so no headline
+// bound depends on it).
+
+// BitonicSort sorts the array in nondecreasing order under less, which
+// must be a strict total order for determinism. The length must be a
+// power of two; SortPadded handles general lengths.
+func BitonicSort[T any](m *Machine, a *Array[T], less func(x, y T) bool) {
+	n := a.Len()
+	if n&(n-1) != 0 {
+		panic("pram: BitonicSort requires a power-of-two length (use SortPadded)")
+	}
+	for k := 2; k <= n; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			kk, jj := k, j
+			m.Step(n/2, func(id int) {
+				// Enumerate pairs (i, i^j) with i's j-bit clear.
+				low := id % jj
+				blk := id / jj
+				i := blk*2*jj + low
+				partner := i + jj
+				asc := i&kk == 0
+				x, y := a.Read(i), a.Read(partner)
+				if less(y, x) == asc {
+					a.Write(id, i, y)
+					a.Write(id, partner, x)
+				}
+			})
+		}
+	}
+}
+
+// BitonicMerge merges an array whose two halves are each sorted
+// nondecreasing into a fully sorted array in O(lg n) supersteps. The
+// length must be a power of two.
+func BitonicMerge[T any](m *Machine, a *Array[T], less func(x, y T) bool) {
+	n := a.Len()
+	if n&(n-1) != 0 {
+		panic("pram: BitonicMerge requires a power-of-two length")
+	}
+	if n < 2 {
+		return
+	}
+	// Turn (asc, asc) into a bitonic sequence by reversing the second
+	// half, then run the merging network.
+	m.Step(n/4, func(id int) {
+		i := n/2 + id
+		j := n - 1 - id
+		x, y := a.Read(i), a.Read(j)
+		a.Write(id, i, y)
+		a.Write(id, j, x)
+	})
+	for j := n / 2; j > 0; j /= 2 {
+		jj := j
+		m.Step(n/2, func(id int) {
+			low := id % jj
+			blk := id / jj
+			i := blk*2*jj + low
+			partner := i + jj
+			x, y := a.Read(i), a.Read(partner)
+			if less(y, x) {
+				a.Write(id, i, y)
+				a.Write(id, partner, x)
+			}
+		})
+	}
+}
+
+// SortPadded sorts values of any length by padding to a power of two with
+// sentinels that compare greater than everything, sorting bitonically,
+// and truncating. Returns a fresh array of the original length.
+func SortPadded[T any](m *Machine, vals []T, less func(x, y T) bool, maxSentinel T) *Array[T] {
+	n := len(vals)
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	a := NewArray[T](m, size)
+	for i := 0; i < size; i++ {
+		if i < n {
+			a.Set(i, vals[i])
+		} else {
+			a.Set(i, maxSentinel)
+		}
+	}
+	BitonicSort(m, a, less)
+	out := NewArray[T](m, n)
+	m.Step(n, func(id int) { out.Write(id, id, a.Read(id)) })
+	return out
+}

@@ -1,0 +1,146 @@
+package pram
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitonicSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 << (1 + rng.Intn(8))
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()*100 + float64(i)*1e-9 // distinct
+		}
+		m := New(CREW, n)
+		a := NewArray[float64](m, n)
+		a.Fill(vals)
+		BitonicSort(m, a, func(x, y float64) bool { return x < y })
+		got := a.Snapshot()
+		want := append([]float64(nil), vals...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d): sort mismatch at %d", trial, n, i)
+			}
+		}
+	}
+}
+
+func TestBitonicSortRequiresPow2(t *testing.T) {
+	m := New(CREW, 4)
+	a := NewArray[int](m, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two length must panic")
+		}
+	}()
+	BitonicSort(m, a, func(x, y int) bool { return x < y })
+}
+
+func TestBitonicMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 << (1 + rng.Intn(8))
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+		}
+		sort.Float64s(vals[:n/2])
+		sort.Float64s(vals[n/2:])
+		m := New(CREW, n)
+		a := NewArray[float64](m, n)
+		a.Fill(vals)
+		BitonicMerge(m, a, func(x, y float64) bool { return x < y })
+		got := a.Snapshot()
+		want := append([]float64(nil), vals...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d): merge mismatch at %d: %v vs %v", trial, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBitonicMergeStepCount(t *testing.T) {
+	// Merge must be O(lg n) supersteps while a full sort is O(lg^2 n).
+	n := 1 << 10
+	mSort := New(CREW, n)
+	aSort := NewArray[float64](mSort, n)
+	for i := 0; i < n; i++ {
+		aSort.Set(i, float64(n-i))
+	}
+	BitonicSort(mSort, aSort, func(x, y float64) bool { return x < y })
+
+	mMerge := New(CREW, n)
+	aMerge := NewArray[float64](mMerge, n)
+	for i := 0; i < n; i++ {
+		aMerge.Set(i, float64(i%(n/2)))
+	}
+	BitonicMerge(mMerge, aMerge, func(x, y float64) bool { return x < y })
+
+	if mMerge.Steps() >= mSort.Steps()/3 {
+		t.Fatalf("merge (%d steps) should be far cheaper than sort (%d steps)",
+			mMerge.Steps(), mSort.Steps())
+	}
+	if mMerge.Steps() != int64(Log2Ceil(n))+1 {
+		t.Fatalf("merge steps = %d, want lg n + 1 = %d", mMerge.Steps(), Log2Ceil(n)+1)
+	}
+}
+
+func TestSortPadded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 50
+		}
+		m := New(CREW, n)
+		out := SortPadded(m, vals, func(x, y float64) bool { return x < y }, math.Inf(1))
+		if out.Len() != n {
+			t.Fatalf("length %d, want %d", out.Len(), n)
+		}
+		got := out.Snapshot()
+		want := append([]float64(nil), vals...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d): mismatch at %d", trial, n, i)
+			}
+		}
+	}
+}
+
+func TestQuickBitonicSort(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(7))
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(1000)*n + i
+		}
+		m := New(CRCW, n)
+		a := NewArray[int](m, n)
+		a.Fill(vals)
+		BitonicSort(m, a, func(x, y int) bool { return x < y })
+		got := a.Snapshot()
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

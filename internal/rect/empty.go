@@ -1,0 +1,339 @@
+package rect
+
+import (
+	"math"
+	"sort"
+
+	"monge/internal/pram"
+)
+
+// Rect is an axis-parallel rectangle [X0, X1] x [Y0, Y1].
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// Area returns the rectangle's area (0 for degenerate rectangles).
+func (r Rect) Area() float64 {
+	if r.X1 <= r.X0 || r.Y1 <= r.Y0 {
+		return 0
+	}
+	return (r.X1 - r.X0) * (r.Y1 - r.Y0)
+}
+
+// containsInterior reports whether p lies strictly inside r.
+func (r Rect) containsInterior(p Point) bool {
+	return p.X > r.X0 && p.X < r.X1 && p.Y > r.Y0 && p.Y < r.Y1
+}
+
+// LargestEmptyRect solves application 1 exactly and sequentially: the
+// maximum-area axis-parallel rectangle inside bounds whose interior
+// contains none of the points. The classical window-narrowing scan
+// (Naamad-Lee-Hsu): every maximal empty rectangle has each side supported
+// by a point or by the boundary, so scanning rightward from each left
+// support (and leftward from each right support, for rectangles whose left
+// side is the boundary) while narrowing the vertical window enumerates all
+// candidates in O(n^2).
+func LargestEmptyRect(pts []Point, bounds Rect) Rect {
+	best := bounds // the whole box, for the point-free case
+	bestArea := 0.0
+	if len(pts) == 0 {
+		return bounds
+	}
+	bestArea = -1.0
+	improve := func(r Rect) {
+		if a := r.Area(); a > bestArea {
+			bestArea, best = a, r
+		}
+	}
+
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pts[order[a]].X < pts[order[b]].X })
+
+	// Vertical slabs between x-consecutive points (and against the
+	// boundary), full height.
+	prevX := bounds.X0
+	for _, id := range order {
+		improve(Rect{X0: prevX, Y0: bounds.Y0, X1: pts[id].X, Y1: bounds.Y1})
+		if pts[id].X > prevX {
+			prevX = pts[id].X
+		}
+	}
+	improve(Rect{X0: prevX, Y0: bounds.Y0, X1: bounds.X1, Y1: bounds.Y1})
+
+	// Horizontal slabs, full width.
+	ys := make([]float64, 0, len(pts)+2)
+	ys = append(ys, bounds.Y0, bounds.Y1)
+	for _, p := range pts {
+		ys = append(ys, p.Y)
+	}
+	sort.Float64s(ys)
+	for i := 1; i < len(ys); i++ {
+		improve(Rect{X0: bounds.X0, Y0: ys[i-1], X1: bounds.X1, Y1: ys[i]})
+	}
+
+	// Left-support scans: rectangles whose left edge passes through point
+	// i; the vertical window narrows at each point passed.
+	for oi, id := range order {
+		lo, hi := bounds.Y0, bounds.Y1
+		for oj := oi + 1; oj < len(order); oj++ {
+			jd := order[oj]
+			if pts[jd].Y <= lo || pts[jd].Y >= hi {
+				continue
+			}
+			improve(Rect{X0: pts[id].X, Y0: lo, X1: pts[jd].X, Y1: hi})
+			if pts[jd].Y > pts[id].Y {
+				hi = pts[jd].Y
+			} else if pts[jd].Y < pts[id].Y {
+				lo = pts[jd].Y
+			} else {
+				improve(Rect{X0: pts[id].X, Y0: lo, X1: pts[jd].X, Y1: hi})
+				break // window collapses onto y_i
+			}
+			if hi-lo <= 0 {
+				break
+			}
+		}
+		improve(Rect{X0: pts[id].X, Y0: lo, X1: bounds.X1, Y1: hi})
+	}
+
+	// Right-support scans (catch rectangles whose left edge is the
+	// boundary).
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		id := order[oi]
+		lo, hi := bounds.Y0, bounds.Y1
+		for oj := oi - 1; oj >= 0; oj-- {
+			jd := order[oj]
+			if pts[jd].Y <= lo || pts[jd].Y >= hi {
+				continue
+			}
+			improve(Rect{X0: pts[jd].X, Y0: lo, X1: pts[id].X, Y1: hi})
+			if pts[jd].Y > pts[id].Y {
+				hi = pts[jd].Y
+			} else if pts[jd].Y < pts[id].Y {
+				lo = pts[jd].Y
+			} else {
+				break
+			}
+			if hi-lo <= 0 {
+				break
+			}
+		}
+		improve(Rect{X0: bounds.X0, Y0: lo, X1: pts[id].X, Y1: hi})
+	}
+	return best
+}
+
+// LargestEmptyRectBrute checks all O(n^4) support combinations; exact but
+// intended only for validating LargestEmptyRect on small inputs.
+func LargestEmptyRectBrute(pts []Point, bounds Rect) Rect {
+	xs := []float64{bounds.X0, bounds.X1}
+	ys := []float64{bounds.Y0, bounds.Y1}
+	for _, p := range pts {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	best := Rect{}
+	bestArea := -1.0
+	for _, x0 := range xs {
+		for _, x1 := range xs {
+			if x1 <= x0 {
+				continue
+			}
+			for _, y0 := range ys {
+				for _, y1 := range ys {
+					if y1 <= y0 {
+						continue
+					}
+					r := Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+					empty := true
+					for _, p := range pts {
+						if r.containsInterior(p) {
+							empty = false
+							break
+						}
+					}
+					if empty {
+						if a := r.Area(); a > bestArea {
+							bestArea, best = a, r
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// LargestAnchoredRect computes, in O(lg n) simulated parallel time with n
+// processors, the largest empty rectangle ANCHORED on the given side of
+// the boundary (its bottom edge lies on bounds' bottom side, etc., for
+// each of the four sides in turn), using the histogram reduction: with the
+// points sorted by x, the anchored-height profile is a histogram whose
+// largest rectangle is found with All Nearest Smaller Values (the
+// [BBG+89] primitive the paper's Lemma 2.2 uses). It returns the best
+// rectangle over all four anchored families.
+func LargestAnchoredRect(mach *pram.Machine, pts []Point, bounds Rect) Rect {
+	best := Rect{}
+	bestArea := -1.0
+	improve := func(r Rect) {
+		if a := r.Area(); a > bestArea {
+			bestArea, best = a, r
+		}
+	}
+	// Transform each side's family into the bottom-anchored frame, solve,
+	// and map back.
+	type frame struct {
+		fwd func(Point) Point
+		inv func(Rect) Rect
+	}
+	w := func(r Rect) Rect { return r }
+	frames := []frame{
+		{fwd: func(p Point) Point { return p }, inv: w}, // bottom
+		{fwd: func(p Point) Point { return Point{X: p.X, Y: bounds.Y0 + bounds.Y1 - p.Y} },
+			inv: func(r Rect) Rect {
+				return Rect{X0: r.X0, X1: r.X1, Y0: bounds.Y0 + bounds.Y1 - r.Y1, Y1: bounds.Y0 + bounds.Y1 - r.Y0}
+			}}, // top (flip y)
+		{fwd: func(p Point) Point { return Point{X: p.Y, Y: p.X} },
+			inv: func(r Rect) Rect {
+				return Rect{X0: r.Y0, X1: r.Y1, Y0: r.X0, Y1: r.X1}
+			}}, // left (transpose)
+		{fwd: func(p Point) Point { return Point{X: p.Y, Y: bounds.X0 + bounds.X1 - p.X} },
+			inv: func(r Rect) Rect {
+				return Rect{X0: bounds.X0 + bounds.X1 - r.Y1, X1: bounds.X0 + bounds.X1 - r.Y0, Y0: r.X0, Y1: r.X1}
+			}}, // right (transpose + flip)
+	}
+	boundsFor := []Rect{
+		bounds,
+		bounds,
+		{X0: bounds.Y0, Y0: bounds.X0, X1: bounds.Y1, Y1: bounds.X1},
+		{X0: bounds.Y0, Y0: bounds.X0, X1: bounds.Y1, Y1: bounds.X1},
+	}
+	for fi, fr := range frames {
+		tp := make([]Point, len(pts))
+		for i, p := range pts {
+			tp[i] = fr.fwd(p)
+		}
+		r := bottomAnchored(mach, tp, boundsFor[fi])
+		improve(fr.inv(r))
+	}
+	return best
+}
+
+// bottomAnchored finds the largest empty rectangle whose bottom edge lies
+// on b.Y0: the histogram problem over the x-sorted points.
+func bottomAnchored(mach *pram.Machine, pts []Point, b Rect) Rect {
+	n := len(pts)
+	if n == 0 {
+		return b
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return pts[order[x]].X < pts[order[y]].X })
+	if mach != nil {
+		mach.StepCost(n, pram.Log2Ceil(n)+1, func(int) {}) // charged parallel sort
+	}
+	// Histogram bars: bar i at x-interval (x_{i-1}, x_{i+1}) has height
+	// y_i - b.Y0; a rectangle of height h anchored at the bottom can span
+	// horizontally until a bar lower than h on each side: exactly the
+	// nearest-smaller-value structure.
+	heights := make([]float64, n)
+	xs := make([]float64, n)
+	for i, id := range order {
+		heights[i] = pts[id].Y - b.Y0
+		xs[i] = pts[id].X
+	}
+	var left, right []int
+	if mach != nil {
+		arr := pram.NewArray[float64](mach, n)
+		arr.Fill(heights)
+		l, r := pram.ANSV(mach, arr)
+		left, right = l.Snapshot(), r.Snapshot()
+	} else {
+		left, right = pram.ANSVSeq(heights)
+	}
+	best := Rect{}
+	bestArea := -1.0
+	improve := func(r Rect) {
+		if a := r.Area(); a > bestArea {
+			bestArea, best = a, r
+		}
+	}
+	// Full-height slabs between consecutive bars and the boundary.
+	prevX := b.X0
+	for i := 0; i <= n; i++ {
+		x1 := b.X1
+		if i < n {
+			x1 = xs[i]
+		}
+		improve(Rect{X0: prevX, Y0: b.Y0, X1: x1, Y1: b.Y1})
+		if i < n {
+			prevX = xs[i]
+		}
+	}
+	// One rectangle per bar: height = bar height, width spans to the
+	// nearest strictly lower bars (or the boundary).
+	for i := 0; i < n; i++ {
+		x0, x1 := b.X0, b.X1
+		if left[i] >= 0 {
+			x0 = xs[left[i]]
+		}
+		if right[i] < n {
+			x1 = xs[right[i]]
+		}
+		improve(Rect{X0: x0, Y0: b.Y0, X1: x1, Y1: math.Min(pts[order[i]].Y, b.Y1)})
+	}
+	if mach != nil {
+		mach.StepCost(n, 1, func(int) {}) // candidate evaluation
+	}
+	return best
+}
+
+// LargestAnchoredRectBrute validates LargestAnchoredRect: the best empty
+// rectangle touching at least one boundary side, by brute force.
+func LargestAnchoredRectBrute(pts []Point, bounds Rect) Rect {
+	xs := []float64{bounds.X0, bounds.X1}
+	ys := []float64{bounds.Y0, bounds.Y1}
+	for _, p := range pts {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	best := Rect{}
+	bestArea := -1.0
+	for _, x0 := range xs {
+		for _, x1 := range xs {
+			if x1 <= x0 {
+				continue
+			}
+			for _, y0 := range ys {
+				for _, y1 := range ys {
+					if y1 <= y0 {
+						continue
+					}
+					touches := x0 == bounds.X0 || x1 == bounds.X1 || y0 == bounds.Y0 || y1 == bounds.Y1
+					if !touches {
+						continue
+					}
+					r := Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+					empty := true
+					for _, p := range pts {
+						if r.containsInterior(p) {
+							empty = false
+							break
+						}
+					}
+					if empty {
+						if a := r.Area(); a > bestArea {
+							bestArea, best = a, r
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}

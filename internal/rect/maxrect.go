@@ -1,0 +1,153 @@
+// Package rect implements the paper's two rectangle applications:
+//
+//   - application 2, the largest-area rectangle spanned by two of n points
+//     as opposite corners (Melville's circuit-leakage problem), reduced to
+//     row maxima of a staircase-shaped inverse-Monge array over the Pareto
+//     staircases of the point set and solved in Theta(lg n) simulated CRCW
+//     time with n processors;
+//   - application 1, the largest empty rectangle among n points inside a
+//     bounding rectangle: an exact O(n^2) sequential solver (the classical
+//     window-narrowing scan), a brute-force validator, and the
+//     boundary-anchored families solved in O(lg n) parallel time via the
+//     All Nearest Smaller Values machinery (largest rectangle under a
+//     histogram).
+package rect
+
+import (
+	"math"
+	"sort"
+
+	"monge/internal/core"
+	"monge/internal/marray"
+	"monge/internal/pram"
+	"monge/internal/smawk"
+)
+
+// Point is a planar point.
+type Point = marray.Point
+
+// MaxCornerRect solves application 2: among all pairs of points taken as
+// opposite corners of an axis-parallel rectangle, it returns the maximum
+// area |dx|*|dy| and the two point indices. Sequential: Theta(n lg n) via
+// sorting, Pareto-staircase extraction, and SMAWK row maxima on the
+// inverse-Monge area array (blocked pairs at -Inf form a staircase pattern
+// that preserves total monotonicity).
+func MaxCornerRect(pts []Point) (area float64, pi, pj int) {
+	return maxCornerRect(pts, nil)
+}
+
+// MaxCornerRectPRAM is the parallel version: the row-maxima searches run
+// on the given machine (the paper's Theta(lg n)-time, n-processor CRCW
+// bound; sorting and staircase extraction are charged as lg n steps).
+func MaxCornerRectPRAM(mach *pram.Machine, pts []Point) (area float64, pi, pj int) {
+	return maxCornerRect(pts, mach)
+}
+
+// MaxCornerRectBrute is the quadratic validator.
+func MaxCornerRectBrute(pts []Point) (area float64, pi, pj int) {
+	area, pi, pj = -1, -1, -1
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			a := math.Abs(pts[i].X-pts[j].X) * math.Abs(pts[i].Y-pts[j].Y)
+			if a > area {
+				area, pi, pj = a, i, j
+			}
+		}
+	}
+	return area, pi, pj
+}
+
+func maxCornerRect(pts []Point, mach *pram.Machine) (float64, int, int) {
+	n := len(pts)
+	if n < 2 {
+		return -1, -1, -1
+	}
+	bestA, bestI, bestJ := -1.0, -1, -1
+	improve := func(a float64, i, j int) {
+		if a > bestA {
+			bestA, bestI, bestJ = a, i, j
+		}
+	}
+	// Positive-slope pairs on the original points, negative-slope pairs on
+	// the y-negated points.
+	slopeCase(pts, mach, func(a float64, i, j int) { improve(a, i, j) })
+	neg := make([]Point, n)
+	for i, p := range pts {
+		neg[i] = Point{X: p.X, Y: -p.Y}
+	}
+	slopeCase(neg, mach, func(a float64, i, j int) { improve(a, i, j) })
+	return bestA, bestI, bestJ
+}
+
+// slopeCase finds the best pair (i lower-left, j upper-right): maximising
+// (x_j - x_i)(y_j - y_i) over pairs with x_j >= x_i, y_j >= y_i. Only
+// Pareto-minimal points can serve as lower-left corners and Pareto-maximal
+// points as upper-right corners; ordering both staircases by increasing x
+// (hence decreasing y) makes the valid-pair area array inverse-Monge, with
+// -Inf on invalid pairs forming left/right staircase borders that preserve
+// total monotonicity.
+func slopeCase(pts []Point, mach *pram.Machine, improve func(a float64, i, j int)) {
+	n := len(pts)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	if mach != nil {
+		// Charge the parallel sort and staircase extraction.
+		mach.StepCost(n, pram.Log2Ceil(n)+1, func(int) {})
+	}
+	// Pareto-minimal staircase (lower-left candidates): scan by increasing
+	// x, keep points whose y is below every earlier kept y.
+	var mins []int // indices into pts
+	minY := math.Inf(1)
+	for _, id := range idx {
+		if pts[id].Y < minY {
+			mins = append(mins, id)
+			minY = pts[id].Y
+		}
+	}
+	// Pareto-maximal staircase (upper-right candidates): scan by
+	// decreasing x, keep points whose y exceeds every later kept y; then
+	// reverse to increasing x.
+	var maxs []int
+	maxY := math.Inf(-1)
+	for t := n - 1; t >= 0; t-- {
+		id := idx[t]
+		if pts[id].Y > maxY {
+			maxs = append(maxs, id)
+			maxY = pts[id].Y
+		}
+	}
+	for l, r := 0, len(maxs)-1; l < r; l, r = l+1, r-1 {
+		maxs[l], maxs[r] = maxs[r], maxs[l]
+	}
+
+	a := marray.Func{
+		M: len(mins), N: len(maxs),
+		F: func(i, j int) float64 {
+			lo, hi := pts[mins[i]], pts[maxs[j]]
+			if hi.X < lo.X || hi.Y < lo.Y {
+				return math.Inf(-1)
+			}
+			return (hi.X - lo.X) * (hi.Y - lo.Y)
+		},
+	}
+	var arg []int
+	if mach != nil {
+		arg = core.RowMaxima(mach, a)
+	} else {
+		arg = smawk.RowMaxima(a)
+	}
+	for i, j := range arg {
+		if v := a.At(i, j); !math.IsInf(v, -1) {
+			improve(v, mins[i], maxs[j])
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package rect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"monge/internal/pram"
+)
+
+func randPts(rng *rand.Rand, n int, b Rect) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X: b.X0 + rng.Float64()*(b.X1-b.X0),
+			Y: b.Y0 + rng.Float64()*(b.Y1-b.Y0),
+		}
+	}
+	return pts
+}
+
+var box = Rect{X0: 0, Y0: 0, X1: 100, Y1: 100}
+
+// strictlyInside checks interior membership with a safety margin: the
+// coordinate transforms used by the anchored solver can round edges by an
+// ulp, which is not a genuine violation.
+func strictlyInside(r Rect, p Point) bool {
+	const eps = 1e-9
+	return p.X > r.X0+eps && p.X < r.X1-eps && p.Y > r.Y0+eps && p.Y < r.Y1-eps
+}
+
+func TestRectArea(t *testing.T) {
+	if (Rect{X0: 1, Y0: 2, X1: 4, Y1: 6}).Area() != 12 {
+		t.Fatal("area wrong")
+	}
+	if (Rect{X0: 4, Y0: 2, X1: 1, Y1: 6}).Area() != 0 {
+		t.Fatal("degenerate rect must have area 0")
+	}
+}
+
+func TestMaxCornerRectMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(60)
+		pts := randPts(rng, n, box)
+		got, gi, gj := MaxCornerRect(pts)
+		want, _, _ := MaxCornerRectBrute(pts)
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("trial %d (n=%d): got %v want %v", trial, n, got, want)
+		}
+		check := math.Abs(pts[gi].X-pts[gj].X) * math.Abs(pts[gi].Y-pts[gj].Y)
+		if math.Abs(check-got) > 1e-9*math.Max(1, got) {
+			t.Fatalf("returned pair does not realise the area: %v vs %v", check, got)
+		}
+	}
+}
+
+func TestMaxCornerRectPRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(50)
+		pts := randPts(rng, n, box)
+		mach := pram.New(pram.CRCW, n)
+		got, _, _ := MaxCornerRectPRAM(mach, pts)
+		want, _, _ := MaxCornerRectBrute(pts)
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+		if mach.Time() == 0 {
+			t.Fatal("machine must be charged")
+		}
+	}
+}
+
+func TestMaxCornerRectDegenerate(t *testing.T) {
+	if a, _, _ := MaxCornerRect(nil); a != -1 {
+		t.Fatal("n<2 should give -1")
+	}
+	if a, _, _ := MaxCornerRect([]Point{{X: 1, Y: 1}}); a != -1 {
+		t.Fatal("n<2 should give -1")
+	}
+	// Collinear points: zero area is correct.
+	a, _, _ := MaxCornerRect([]Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}})
+	if a != 0 {
+		t.Fatalf("collinear points should give 0, got %v", a)
+	}
+}
+
+// TestMaxCornerRectCRCWLogTime checks the application-2 shape claim:
+// Theta(lg n) CRCW time with n processors.
+func TestMaxCornerRectCRCWLogTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	timeFor := func(n int) float64 {
+		pts := randPts(rng, n, box)
+		mach := pram.New(pram.CRCW, n)
+		MaxCornerRectPRAM(mach, pts)
+		return float64(mach.Time()) / float64(pram.Log2Ceil(n))
+	}
+	r256, r4096 := timeFor(256), timeFor(4096)
+	if r4096 > 3*r256 {
+		t.Fatalf("time/lg n grows too fast: %f -> %f", r256, r4096)
+	}
+}
+
+func TestLargestEmptyRectMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 120; trial++ {
+		n := rng.Intn(12)
+		pts := randPts(rng, n, box)
+		got := LargestEmptyRect(pts, box)
+		want := LargestEmptyRectBrute(pts, box)
+		if math.Abs(got.Area()-want.Area()) > 1e-9*math.Max(1, want.Area()) {
+			t.Fatalf("trial %d (n=%d): got area %v (%+v) want %v (%+v)",
+				trial, n, got.Area(), got, want.Area(), want)
+		}
+		for _, p := range pts {
+			if strictlyInside(got, p) {
+				t.Fatalf("returned rectangle contains point %+v", p)
+			}
+		}
+	}
+}
+
+func TestLargestEmptyRectNoPoints(t *testing.T) {
+	got := LargestEmptyRect(nil, box)
+	if got != box {
+		t.Fatalf("no points: whole box expected, got %+v", got)
+	}
+}
+
+func TestLargestAnchoredRectMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 80; trial++ {
+		n := rng.Intn(10)
+		pts := randPts(rng, n, box)
+		got := LargestAnchoredRect(nil, pts, box)
+		want := LargestAnchoredRectBrute(pts, box)
+		if math.Abs(got.Area()-want.Area()) > 1e-9*math.Max(1, want.Area()) {
+			t.Fatalf("trial %d (n=%d): got %v want %v", trial, n, got.Area(), want.Area())
+		}
+		for _, p := range pts {
+			if strictlyInside(got, p) {
+				t.Fatalf("anchored rectangle contains a point")
+			}
+		}
+	}
+}
+
+func TestLargestAnchoredRectPRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		pts := randPts(rng, n, box)
+		mach := pram.New(pram.CRCW, n)
+		got := LargestAnchoredRect(mach, pts, box)
+		want := LargestAnchoredRect(nil, pts, box)
+		if math.Abs(got.Area()-want.Area()) > 1e-9 {
+			t.Fatalf("trial %d: PRAM %v vs seq %v", trial, got.Area(), want.Area())
+		}
+		if mach.Time() == 0 {
+			t.Fatal("machine must be charged")
+		}
+	}
+}
+
+// TestAnchoredIsLowerBound: the anchored families always lower-bound the
+// global optimum, and on sparse inputs they often realise it.
+func TestAnchoredIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	hits := 0
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(15)
+		pts := randPts(rng, n, box)
+		anch := LargestAnchoredRect(nil, pts, box)
+		full := LargestEmptyRect(pts, box)
+		if anch.Area() > full.Area()+1e-9 {
+			t.Fatalf("anchored exceeds global optimum")
+		}
+		if math.Abs(anch.Area()-full.Area()) < 1e-9 {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("anchored families never matched the optimum (suspicious)")
+	}
+}
+
+func TestQuickEmptyRect(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randPts(rng, rng.Intn(9), box)
+		got := LargestEmptyRect(pts, box)
+		want := LargestEmptyRectBrute(pts, box)
+		return math.Abs(got.Area()-want.Area()) < 1e-9*math.Max(1, want.Area())
+	}
+	if err := quick.Check(fn, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaxCornerRect(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		pts := randPts(rng, n, box)
+		got, _, _ := MaxCornerRect(pts)
+		want, _, _ := MaxCornerRectBrute(pts)
+		return math.Abs(got-want) < 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(fn, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

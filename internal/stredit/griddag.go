@@ -1,0 +1,190 @@
+package stredit
+
+import (
+	"monge/internal/hcmonge"
+	hc "monge/internal/hypercube"
+	"monge/internal/marray"
+	"monge/internal/smawk"
+)
+
+// This file contains the grid-DAG substrate: single-row strip DIST
+// matrices (implicit, O(1) entry evaluation after sparse-table
+// preprocessing) and the hypercube string-editing driver of Section 1.3(4).
+
+// StripDist is the boundary-to-boundary shortest-path matrix of a
+// single-row strip of the edit grid-DAG: entry (u, v) is the cheapest way
+// to move from column u on the row above to column v on the row below,
+// consuming one source character xc. Unreachable pairs (v < u) are +Inf.
+//
+// A path goes right along the top row to some column, then takes the
+// delete (down) or substitute (diagonal) edge, then right along the bottom
+// row. With P the prefix sums of the insert costs, the cost is
+// P[v]-P[u] + min(Delete(xc), min_{u<w<=v} M[w]) where
+// M[w] = Sub(xc, y_w) - Insert(y_w); the inner min is a range-minimum
+// query answered in O(1) by a sparse table. StripDist matrices are Monge
+// on their finite entries (paths in a planar DAG cannot cross), with the
+// +Inf entries forming per-row interval supports that preserve total
+// monotonicity.
+type StripDist struct {
+	t      int
+	del    float64
+	prefix []float64 // prefix[j] = cost of inserting y_1..y_j
+	rmq    *sparseTable
+}
+
+// NewStripDist builds the strip matrix for source character xc over
+// target runes ys. O(t lg t) preprocessing.
+func NewStripDist(xc rune, ys []rune, c Costs) *StripDist {
+	t := len(ys)
+	prefix := make([]float64, t+1)
+	m := make([]float64, t) // M[w-1] for w = 1..t
+	for j := 1; j <= t; j++ {
+		ins := c.Insert(ys[j-1])
+		prefix[j] = prefix[j-1] + ins
+		m[j-1] = c.Sub(xc, ys[j-1]) - ins
+	}
+	return &StripDist{t: t, del: c.Delete(xc), prefix: prefix, rmq: newSparseTable(m)}
+}
+
+// Rows returns t+1 boundary columns.
+func (s *StripDist) Rows() int { return s.t + 1 }
+
+// Cols returns t+1 boundary columns.
+func (s *StripDist) Cols() int { return s.t + 1 }
+
+// At returns the strip distance from top column u to bottom column v.
+func (s *StripDist) At(u, v int) float64 {
+	if v < u {
+		return infD
+	}
+	best := s.del
+	if v > u {
+		if m := s.rmq.min(u, v-1); m < best {
+			best = m
+		}
+	}
+	return s.prefix[v] - s.prefix[u] + best
+}
+
+// sparseTable answers range-minimum queries in O(1) after O(n lg n)
+// preprocessing.
+type sparseTable struct {
+	n    int
+	logs []int
+	tab  [][]float64
+}
+
+func newSparseTable(vals []float64) *sparseTable {
+	n := len(vals)
+	st := &sparseTable{n: n, logs: make([]int, n+1)}
+	for i := 2; i <= n; i++ {
+		st.logs[i] = st.logs[i/2] + 1
+	}
+	levels := 1
+	if n > 0 {
+		levels = st.logs[n] + 1
+	}
+	st.tab = make([][]float64, levels)
+	st.tab[0] = append([]float64(nil), vals...)
+	for k := 1; k < levels; k++ {
+		width := n - (1 << k) + 1
+		st.tab[k] = make([]float64, width)
+		for i := 0; i < width; i++ {
+			a, b := st.tab[k-1][i], st.tab[k-1][i+(1<<(k-1))]
+			if b < a {
+				a = b
+			}
+			st.tab[k][i] = a
+		}
+	}
+	return st
+}
+
+// min returns the minimum of vals[lo..hi] (inclusive).
+func (st *sparseTable) min(lo, hi int) float64 {
+	if lo > hi || lo < 0 || hi >= st.n {
+		return infD
+	}
+	k := st.logs[hi-lo+1]
+	a, b := st.tab[k][lo], st.tab[k][hi-(1<<k)+1]
+	if b < a {
+		a = b
+	}
+	return a
+}
+
+// smawkRowMinima searches a (min,+) slice with SMAWK; the interval +Inf
+// supports of DIST matrices preserve total monotonicity.
+func smawkRowMinima(a marray.Matrix) []int {
+	return smawk.RowMinima(a)
+}
+
+// HypercubeReport aggregates the charged time of a hypercube string-edit
+// run: the combination tree's levels run sequentially, each level's
+// combines simultaneously, and each combine's slices simultaneously; the
+// reported time is the sum over levels of the maximum combine time.
+type HypercubeReport struct {
+	Time int64
+	Comm int64
+}
+
+// DistanceHypercube computes the edit distance with the strip combination
+// running on simulated networks of the given kind (Theorem 3.4 machinery:
+// one Monge row-minima search per slice, each on its own subcube).
+func DistanceHypercube(kind hc.Kind, x, y string, c Costs) (float64, HypercubeReport) {
+	xs, ys := []rune(x), []rune(y)
+	s, t := len(xs), len(ys)
+	var rep HypercubeReport
+	if s == 0 || t == 0 {
+		return degenerate(xs, ys, c), rep
+	}
+	strips := make([]marray.Matrix, s)
+	for i := 0; i < s; i++ {
+		strips[i] = NewStripDist(xs[i], ys, c)
+	}
+	for len(strips) > 1 {
+		next := make([]marray.Matrix, 0, (len(strips)+1)/2)
+		var levelTime int64
+		for p := 0; p+1 < len(strips); p += 2 {
+			dense, ct, cc := combineHC(kind, strips[p], strips[p+1])
+			next = append(next, dense)
+			if ct > levelTime {
+				levelTime = ct
+			}
+			rep.Comm += cc
+		}
+		rep.Time += levelTime
+		if len(strips)%2 == 1 {
+			next = append(next, strips[len(strips)-1])
+		}
+		strips = next
+	}
+	return strips[0].At(0, t), rep
+}
+
+// combineHC computes the (min,+) product with one hypercube row-minima
+// search per slice; the slices run simultaneously, so the charged time is
+// the slowest slice.
+func combineHC(kind hc.Kind, a, b marray.Matrix) (*marray.Dense, int64, int64) {
+	n := a.Rows()
+	out := marray.NewDense(n, n)
+	rows := make([]int, n)
+	for v := range rows {
+		rows[v] = v
+	}
+	var maxTime, comm int64
+	for u := 0; u < n; u++ {
+		uu := u
+		idx, mach := hcmonge.RowMinima(kind, rows, rows, func(v, w int) float64 {
+			return a.At(uu, w) + b.At(w, v)
+		})
+		if mach.Time() > maxTime {
+			maxTime = mach.Time()
+		}
+		comm += mach.Comm()
+		for v := 0; v < n; v++ {
+			out.Set(uu, v, a.At(uu, idx[v])+b.At(idx[v], v))
+		}
+	}
+	return out, maxTime, comm
+}

@@ -1,0 +1,352 @@
+// Package stredit implements application 4 of the paper: the string
+// editing problem.
+//
+//   - Distance is the Wagner-Fischer O(st) dynamic program [WF74], the
+//     sequential baseline.
+//   - DistancePRAM and DistanceHypercube reduce string editing to a
+//     shortest-path problem in the edit grid-DAG and solve it by the
+//     divide-and-conquer of [AP89a, AALM88]: the DAG is cut into
+//     single-row strips whose boundary-to-boundary DIST matrices are Monge,
+//     and adjacent strips are combined with the (min,+) product computed by
+//     Monge array searching (one row-minima search per slice of the
+//     Monge-composite array). The combination tree has lg s levels and each
+//     level's searches run on parallel processor groups, giving the
+//     O(lg s lg t) parallel time of the paper's Section 1.3(4).
+//   - DistanceWavefront is the classical anti-diagonal parallel DP (the
+//     pre-Monge approach, standing in for the Ranka-Sahni SIMD-hypercube
+//     baseline the paper compares against): O(s + t) parallel time.
+package stredit
+
+import (
+	"math"
+
+	"monge/internal/core"
+	"monge/internal/marray"
+	"monge/internal/pram"
+)
+
+// Costs defines the three edit operations' costs. All costs must be
+// nonnegative for the shortest-path formulation.
+type Costs struct {
+	// Delete is the cost of deleting rune r from the source string.
+	Delete func(r rune) float64
+	// Insert is the cost of inserting rune r of the target string.
+	Insert func(r rune) float64
+	// Sub is the cost of substituting source rune a by target rune b.
+	Sub func(a, b rune) float64
+}
+
+// UnitCosts returns the Levenshtein cost model: unit insert/delete,
+// zero-cost matches, unit substitutions.
+func UnitCosts() Costs {
+	return Costs{
+		Delete: func(rune) float64 { return 1 },
+		Insert: func(rune) float64 { return 1 },
+		Sub: func(a, b rune) float64 {
+			if a == b {
+				return 0
+			}
+			return 1
+		},
+	}
+}
+
+// Distance computes the edit distance from x to y under c with the
+// Wagner-Fischer dynamic program. O(|x|*|y|) time, O(|y|) space.
+func Distance(x, y string, c Costs) float64 {
+	xs, ys := []rune(x), []rune(y)
+	t := len(ys)
+	prev := make([]float64, t+1)
+	cur := make([]float64, t+1)
+	for j := 1; j <= t; j++ {
+		prev[j] = prev[j-1] + c.Insert(ys[j-1])
+	}
+	for i := 1; i <= len(xs); i++ {
+		cur[0] = prev[0] + c.Delete(xs[i-1])
+		for j := 1; j <= t; j++ {
+			best := prev[j] + c.Delete(xs[i-1])
+			if v := cur[j-1] + c.Insert(ys[j-1]); v < best {
+				best = v
+			}
+			if v := prev[j-1] + c.Sub(xs[i-1], ys[j-1]); v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[t]
+}
+
+// LCSLength returns the length of a longest common subsequence of x and y,
+// via the classical identity |LCS| = (|x| + |y| - d)/2 where d is the edit
+// distance under indel-only costs (substitution priced as delete+insert).
+func LCSLength(x, y string) int {
+	c := Costs{
+		Delete: func(rune) float64 { return 1 },
+		Insert: func(rune) float64 { return 1 },
+		Sub: func(a, b rune) float64 {
+			if a == b {
+				return 0
+			}
+			return 2
+		},
+	}
+	d := Distance(x, y, c)
+	return (len([]rune(x)) + len([]rune(y)) - int(d)) / 2
+}
+
+// Op is one step of an edit script.
+type Op struct {
+	// Kind is "match", "sub", "del", or "ins".
+	Kind string
+	// X and Y are the runes involved (zero when not applicable).
+	X, Y rune
+}
+
+// DistanceWithScript additionally recovers an optimal edit script.
+// O(|x|*|y|) time and space.
+func DistanceWithScript(x, y string, c Costs) (float64, []Op) {
+	xs, ys := []rune(x), []rune(y)
+	s, t := len(xs), len(ys)
+	d := make([][]float64, s+1)
+	for i := range d {
+		d[i] = make([]float64, t+1)
+	}
+	for j := 1; j <= t; j++ {
+		d[0][j] = d[0][j-1] + c.Insert(ys[j-1])
+	}
+	for i := 1; i <= s; i++ {
+		d[i][0] = d[i-1][0] + c.Delete(xs[i-1])
+		for j := 1; j <= t; j++ {
+			best := d[i-1][j] + c.Delete(xs[i-1])
+			if v := d[i][j-1] + c.Insert(ys[j-1]); v < best {
+				best = v
+			}
+			if v := d[i-1][j-1] + c.Sub(xs[i-1], ys[j-1]); v < best {
+				best = v
+			}
+			d[i][j] = best
+		}
+	}
+	var ops []Op
+	i, j := s, t
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && d[i][j] == d[i-1][j-1]+c.Sub(xs[i-1], ys[j-1]):
+			kind := "sub"
+			if xs[i-1] == ys[j-1] && c.Sub(xs[i-1], ys[j-1]) == 0 {
+				kind = "match"
+			}
+			ops = append(ops, Op{Kind: kind, X: xs[i-1], Y: ys[j-1]})
+			i, j = i-1, j-1
+		case i > 0 && d[i][j] == d[i-1][j]+c.Delete(xs[i-1]):
+			ops = append(ops, Op{Kind: "del", X: xs[i-1]})
+			i--
+		default:
+			ops = append(ops, Op{Kind: "ins", Y: ys[j-1]})
+			j--
+		}
+	}
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	return d[s][t], ops
+}
+
+// ScriptCost sums an edit script's cost under c (validation helper).
+func ScriptCost(ops []Op, c Costs) float64 {
+	total := 0.0
+	for _, op := range ops {
+		switch op.Kind {
+		case "del":
+			total += c.Delete(op.X)
+		case "ins":
+			total += c.Insert(op.Y)
+		case "sub", "match":
+			total += c.Sub(op.X, op.Y)
+		}
+	}
+	return total
+}
+
+// DistanceWavefront is the anti-diagonal parallel DP on the given machine:
+// s+t supersteps of up to min(s,t)+1 processors. It is the baseline the
+// Monge approach improves on (O(s+t) versus O(lg s lg t) time).
+func DistanceWavefront(mach *pram.Machine, x, y string, c Costs) float64 {
+	xs, ys := []rune(x), []rune(y)
+	s, t := len(xs), len(ys)
+	d := pram.NewArray[float64](mach, (s+1)*(t+1))
+	at := func(i, j int) int { return i*(t+1) + j }
+	mach.Step(1, func(int) {})
+	d.Set(at(0, 0), 0)
+	for j := 1; j <= t; j++ {
+		d.Set(at(0, j), d.Read(at(0, j-1))+c.Insert(ys[j-1]))
+	}
+	for i := 1; i <= s; i++ {
+		d.Set(at(i, 0), d.Read(at(i-1, 0))+c.Delete(xs[i-1]))
+	}
+	// Anti-diagonal k holds cells (i, j) with i+j == k, i,j >= 1.
+	for k := 2; k <= s+t; k++ {
+		lo := 1
+		if k-t > lo {
+			lo = k - t
+		}
+		hi := s
+		if k-1 < hi {
+			hi = k - 1
+		}
+		if lo > hi {
+			continue
+		}
+		kk := k
+		mach.Step(hi-lo+1, func(id int) {
+			i := lo + id
+			j := kk - i
+			best := d.Read(at(i-1, j)) + c.Delete(xs[i-1])
+			if v := d.Read(at(i, j-1)) + c.Insert(ys[j-1]); v < best {
+				best = v
+			}
+			if v := d.Read(at(i-1, j-1)) + c.Sub(xs[i-1], ys[j-1]); v < best {
+				best = v
+			}
+			d.Write(id, at(i, j), best)
+		})
+	}
+	return d.Read(at(s, t))
+}
+
+// DistancePRAM computes the edit distance by the grid-DAG strip
+// combination on the given machine, returning the distance. Parallel time
+// is O(lg s lg t) with ~s*t processors (each of the lg s combination
+// levels runs its (min,+) products through parallel Monge row-minima
+// searches).
+func DistancePRAM(mach *pram.Machine, x, y string, c Costs) float64 {
+	xs, ys := []rune(x), []rune(y)
+	s, t := len(xs), len(ys)
+	if s == 0 || t == 0 {
+		return degenerate(xs, ys, c)
+	}
+	// Build the s single-row strip DIST matrices (implicit; entries O(1)
+	// after O(t lg t) sparse-table preprocessing per strip, charged).
+	strips := make([]marray.Matrix, s)
+	mach.StepCost(s*(t+1), pram.Log2Ceil(t+1)+1, func(int) {})
+	for i := 0; i < s; i++ {
+		strips[i] = NewStripDist(xs[i], ys, c)
+	}
+	// Binary combination tree.
+	for len(strips) > 1 {
+		next := make([]marray.Matrix, 0, (len(strips)+1)/2)
+		pairs := len(strips) / 2
+		results := make([]marray.Matrix, pairs)
+		procs := make([]int, pairs)
+		for p := 0; p < pairs; p++ {
+			procs[p] = (t + 1) * 2
+		}
+		mach.ParallelDo(procs, func(p int, sub *pram.Machine) {
+			results[p] = CombinePRAM(sub, strips[2*p], strips[2*p+1])
+		})
+		for p := 0; p < pairs; p++ {
+			next = append(next, results[p])
+		}
+		if len(strips)%2 == 1 {
+			next = append(next, strips[len(strips)-1])
+		}
+		strips = next
+	}
+	return strips[0].At(0, t)
+}
+
+// degenerate handles empty-string cases.
+func degenerate(xs, ys []rune, c Costs) float64 {
+	total := 0.0
+	for _, r := range xs {
+		total += c.Delete(r)
+	}
+	for _, r := range ys {
+		total += c.Insert(r)
+	}
+	return total
+}
+
+// CombinePRAM computes the (min,+) product C[u][v] = min_w A[u][w] +
+// B[w][v] of two Monge DIST matrices on the machine: one Monge row-minima
+// search per slice u, all slices on parallel processor groups.
+func CombinePRAM(mach *pram.Machine, a, b marray.Matrix) *marray.Dense {
+	n := a.Rows()
+	out := marray.NewDense(n, n)
+	procs := make([]int, n)
+	for u := range procs {
+		procs[u] = 2 * n
+	}
+	rows := make([][]float64, n)
+	mach.ParallelDo(procs, func(u int, sub *pram.Machine) {
+		w := marray.Func{M: n, N: n, F: func(v, wj int) float64 {
+			return a.At(u, wj) + b.At(wj, v)
+		}}
+		idx := core.RowMinima(sub, w)
+		row := make([]float64, n)
+		for v := 0; v < n; v++ {
+			row[v] = w.At(v, idx[v])
+		}
+		rows[u] = row
+	})
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			out.Set(u, v, rows[u][v])
+		}
+	}
+	return out
+}
+
+// CombineSeq is the sequential (min,+) product via SMAWK, used by tests
+// and by the sequential grid-DAG driver.
+func CombineSeq(a, b marray.Matrix) *marray.Dense {
+	n := a.Rows()
+	out := marray.NewDense(n, n)
+	for u := 0; u < n; u++ {
+		w := marray.Func{M: n, N: n, F: func(v, wj int) float64 {
+			return a.At(u, wj) + b.At(wj, v)
+		}}
+		idx := rowMinimaWithInf(w)
+		for v := 0; v < n; v++ {
+			out.Set(u, v, w.At(v, idx[v]))
+		}
+	}
+	return out
+}
+
+// rowMinimaWithInf runs SMAWK; the +Inf unreachable entries of DIST
+// matrices preserve total monotonicity (interval support per row), so the
+// plain algorithm applies.
+func rowMinimaWithInf(a marray.Matrix) []int {
+	return smawkRowMinima(a)
+}
+
+// DistanceGridDAG is the sequential strip-combination driver (the same
+// algorithm as DistancePRAM without a machine), used to validate the
+// reduction itself.
+func DistanceGridDAG(x, y string, c Costs) float64 {
+	xs, ys := []rune(x), []rune(y)
+	s, t := len(xs), len(ys)
+	if s == 0 || t == 0 {
+		return degenerate(xs, ys, c)
+	}
+	strips := make([]marray.Matrix, s)
+	for i := 0; i < s; i++ {
+		strips[i] = NewStripDist(xs[i], ys, c)
+	}
+	for len(strips) > 1 {
+		next := make([]marray.Matrix, 0, (len(strips)+1)/2)
+		for p := 0; p+1 < len(strips); p += 2 {
+			next = append(next, CombineSeq(strips[p], strips[p+1]))
+		}
+		if len(strips)%2 == 1 {
+			next = append(next, strips[len(strips)-1])
+		}
+		strips = next
+	}
+	return strips[0].At(0, t)
+}
+
+var infD = math.Inf(1)

@@ -1,0 +1,312 @@
+package stredit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	hc "monge/internal/hypercube"
+	"monge/internal/marray"
+	"monge/internal/pram"
+)
+
+func randString(rng *rand.Rand, n, alphabet int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteRune(rune('a' + rng.Intn(alphabet)))
+	}
+	return sb.String()
+}
+
+// randCosts builds a random nonnegative cost model with zero-cost exact
+// matches (substitution must not beat delete+insert by construction is NOT
+// required; the algorithms handle arbitrary nonnegative costs).
+func randCosts(rng *rand.Rand) Costs {
+	del := make(map[rune]float64)
+	ins := make(map[rune]float64)
+	sub := make(map[[2]rune]float64)
+	get := func(m map[rune]float64, r rune) float64 {
+		if v, ok := m[r]; ok {
+			return v
+		}
+		v := 1 + float64(rng.Intn(9))
+		m[r] = v
+		return v
+	}
+	return Costs{
+		Delete: func(r rune) float64 { return get(del, r) },
+		Insert: func(r rune) float64 { return get(ins, r) },
+		Sub: func(a, b rune) float64 {
+			if a == b {
+				return 0
+			}
+			k := [2]rune{a, b}
+			if v, ok := sub[k]; ok {
+				return v
+			}
+			v := 1 + float64(rng.Intn(9))
+			sub[k] = v
+			return v
+		},
+	}
+}
+
+func TestDistanceUnitSmall(t *testing.T) {
+	c := UnitCosts()
+	cases := []struct {
+		x, y string
+		d    float64
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "abc", 0},
+	}
+	for _, cse := range cases {
+		if got := Distance(cse.x, cse.y, c); got != cse.d {
+			t.Fatalf("Distance(%q,%q) = %v, want %v", cse.x, cse.y, got, cse.d)
+		}
+	}
+}
+
+func TestDistanceWithScript(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := UnitCosts()
+	for trial := 0; trial < 50; trial++ {
+		x := randString(rng, rng.Intn(12), 3)
+		y := randString(rng, rng.Intn(12), 3)
+		d, ops := DistanceWithScript(x, y, c)
+		if d != Distance(x, y, c) {
+			t.Fatalf("script distance differs")
+		}
+		if ScriptCost(ops, c) != d {
+			t.Fatalf("script cost %v != distance %v", ScriptCost(ops, c), d)
+		}
+		// replay the script to verify it transforms x into y
+		var out strings.Builder
+		xi := 0
+		xs := []rune(x)
+		for _, op := range ops {
+			switch op.Kind {
+			case "del":
+				xi++
+			case "ins":
+				out.WriteRune(op.Y)
+			default:
+				out.WriteRune(op.Y)
+				xi++
+			}
+		}
+		if xi != len(xs) || out.String() != y {
+			t.Fatalf("script does not transform %q into %q (got %q)", x, y, out.String())
+		}
+	}
+}
+
+func TestStripDistIsMongeAndCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		c := randCosts(rng)
+		y := randString(rng, 1+rng.Intn(10), 3)
+		xc := rune('a' + rng.Intn(3))
+		s := NewStripDist(xc, []rune(y), c)
+		// Correctness against a tiny DP across the strip.
+		want := Distance(string(xc), y, c)
+		if got := s.At(0, len([]rune(y))); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("strip corner mismatch: %v vs %v", got, want)
+		}
+		// Monge on finite entries, +Inf below the diagonal.
+		d := marray.Materialize(s)
+		for u := 0; u < d.Rows(); u++ {
+			for v := 0; v < d.Cols(); v++ {
+				if v < u && !math.IsInf(d.At(u, v), 1) {
+					t.Fatal("lower triangle must be +Inf")
+				}
+			}
+		}
+		if !mongeOnFinite(d) {
+			t.Fatalf("strip matrix not Monge on finite entries")
+		}
+	}
+}
+
+func mongeOnFinite(a marray.Matrix) bool {
+	m, n := a.Rows(), a.Cols()
+	for i := 0; i+1 < m; i++ {
+		for j := 0; j+1 < n; j++ {
+			x00, x01 := a.At(i, j), a.At(i, j+1)
+			x10, x11 := a.At(i+1, j), a.At(i+1, j+1)
+			if math.IsInf(x00, 1) || math.IsInf(x01, 1) || math.IsInf(x10, 1) || math.IsInf(x11, 1) {
+				continue
+			}
+			if x00+x11 > x01+x10+1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDistanceGridDAGMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		c := randCosts(rng)
+		x := randString(rng, rng.Intn(15), 3)
+		y := randString(rng, rng.Intn(15), 3)
+		got := DistanceGridDAG(x, y, c)
+		want := Distance(x, y, c)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d (%q,%q): grid-DAG %v vs DP %v", trial, x, y, got, want)
+		}
+	}
+}
+
+func TestDistancePRAMMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		c := randCosts(rng)
+		x := randString(rng, 1+rng.Intn(12), 3)
+		y := randString(rng, 1+rng.Intn(12), 3)
+		mach := pram.New(pram.CRCW, len(x)*len(y)+1)
+		got := DistancePRAM(mach, x, y, c)
+		want := Distance(x, y, c)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d (%q,%q): PRAM %v vs DP %v", trial, x, y, got, want)
+		}
+		if mach.Time() == 0 {
+			t.Fatal("machine must be charged")
+		}
+	}
+}
+
+func TestDistanceWavefront(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		c := randCosts(rng)
+		x := randString(rng, rng.Intn(12), 3)
+		y := randString(rng, rng.Intn(12), 3)
+		mach := pram.New(pram.CRCW, len(x)+len(y)+1)
+		got := DistanceWavefront(mach, x, y, c)
+		want := Distance(x, y, c)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: wavefront %v vs DP %v", trial, got, want)
+		}
+	}
+}
+
+func TestDistanceHypercube(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		c := randCosts(rng)
+		x := randString(rng, 1+rng.Intn(8), 3)
+		y := randString(rng, 1+rng.Intn(8), 3)
+		got, rep := DistanceHypercube(hc.Cube, x, y, c)
+		want := Distance(x, y, c)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d (%q,%q): hypercube %v vs DP %v", trial, x, y, got, want)
+		}
+		if len(x) > 1 && rep.Time == 0 {
+			t.Fatal("hypercube run must charge time")
+		}
+	}
+}
+
+func TestDistanceEmptyCases(t *testing.T) {
+	c := UnitCosts()
+	mach := pram.New(pram.CRCW, 4)
+	if DistancePRAM(mach, "", "abc", c) != 3 {
+		t.Fatal("empty x")
+	}
+	if DistancePRAM(mach, "ab", "", c) != 2 {
+		t.Fatal("empty y")
+	}
+	if d, _ := DistanceHypercube(hc.Cube, "", "", c); d != 0 {
+		t.Fatal("both empty")
+	}
+}
+
+// TestPRAMTimePolylog checks the application-4 shape: the Monge engine's
+// parallel time grows polylogarithmically while the wavefront baseline
+// grows linearly, so their ratio must widen with n.
+func TestPRAMTimePolylog(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := UnitCosts()
+	ratio := func(n int) float64 {
+		x := randString(rng, n, 4)
+		y := randString(rng, n, 4)
+		m1 := pram.New(pram.CRCW, n*n)
+		DistancePRAM(m1, x, y, c)
+		m2 := pram.New(pram.CRCW, n*n)
+		DistanceWavefront(m2, x, y, c)
+		return float64(m2.Time()) / float64(m1.Time())
+	}
+	r16, r128 := ratio(16), ratio(128)
+	if r128 <= r16 {
+		t.Fatalf("wavefront/monge time ratio should widen: %f -> %f", r16, r128)
+	}
+}
+
+func TestQuickGridDAG(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randCosts(rng)
+		x := randString(rng, rng.Intn(20), 4)
+		y := randString(rng, rng.Intn(20), 4)
+		return math.Abs(DistanceGridDAG(x, y, c)-Distance(x, y, c)) < 1e-9
+	}
+	if err := quick.Check(fn, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCSLength(t *testing.T) {
+	cases := []struct {
+		x, y string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 3},
+		{"abc", "def", 0},
+		{"ABCBDAB", "BDCABA", 4},
+		{"AGGTAB", "GXTXAYB", 4},
+	}
+	for _, c := range cases {
+		if got := LCSLength(c.x, c.y); got != c.want {
+			t.Fatalf("LCS(%q,%q) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestLCSLengthRandomAgainstDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	lcsDP := func(x, y string) int {
+		xs, ys := []rune(x), []rune(y)
+		prev := make([]int, len(ys)+1)
+		cur := make([]int, len(ys)+1)
+		for i := 1; i <= len(xs); i++ {
+			for j := 1; j <= len(ys); j++ {
+				if xs[i-1] == ys[j-1] {
+					cur[j] = prev[j-1] + 1
+				} else if prev[j] >= cur[j-1] {
+					cur[j] = prev[j]
+				} else {
+					cur[j] = cur[j-1]
+				}
+			}
+			prev, cur = cur, prev
+		}
+		return prev[len(ys)]
+	}
+	for trial := 0; trial < 60; trial++ {
+		x := randString(rng, rng.Intn(25), 3)
+		y := randString(rng, rng.Intn(25), 3)
+		if got, want := LCSLength(x, y), lcsDP(x, y); got != want {
+			t.Fatalf("LCS(%q,%q) = %d, want %d", x, y, got, want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package monge is a Go library reproducing "Parallel Searching in
+// Generalized Monge Arrays with Applications" (Aggarwal, Kravets, Park,
+// Sen; SPAA 1990): sequential and parallel searching in Monge,
+// staircase-Monge, and Monge-composite arrays, the parallel-machine
+// substrates the paper evaluates on (CRCW/CREW PRAM, hypercube,
+// cube-connected cycles, shuffle-exchange), and the paper's applications
+// (geometric neighbor problems, rectangle problems, string editing, and
+// Monge-powered dynamic programming).
+//
+// # Arrays
+//
+// Arrays are accessed through the Matrix interface with O(1) on-demand
+// entry evaluation; see NewFunc, FromRows and the adapters (Transpose,
+// Negate, ReverseCols). An m x n array A is Monge when
+// A[i,j] + A[k,l] <= A[i,l] + A[k,j] for all i<k, j<l; staircase-Monge
+// arrays additionally carry +Inf entries closed to the right and downward.
+//
+// # Searching
+//
+//	RowMinima(a)            // SMAWK: leftmost row minima of a Monge array, Theta(m+n)
+//	RowMaxima(a)            // leftmost row maxima of an inverse-Monge array
+//	StaircaseRowMinima(a)   // leftmost finite row minima of a staircase-Monge array
+//	TubeMaxima(c)           // per-(i,k) best middle coordinate of a Monge-composite array
+//
+// Parallel counterparts run on simulated machines:
+//
+//	mach := NewPRAM(CRCW, n)
+//	idx := RowMinimaPRAM(mach, a)         // O(lg n) charged time, Table 1.1
+//	idx = StaircaseRowMinimaPRAM(mach, a) // Theorem 2.3, Table 1.2
+//
+// and on distributed-memory networks (hypercube, CCC, shuffle-exchange)
+// via the hcmonge subpackage-backed entry points RowMinimaHypercube etc.
+// (Theorems 3.2-3.4, Tables 1.1-1.3 "hypercube, etc." rows).
+//
+// The machines expose Time, Work, and communication counters; those
+// counters are what the repository's benchmark harness compares against
+// the paper's complexity tables (see EXPERIMENTS.md).
+package monge
+
+import (
+	"monge/internal/core"
+	"monge/internal/hcmonge"
+	hc "monge/internal/hypercube"
+	"monge/internal/marray"
+	"monge/internal/pram"
+	"monge/internal/smawk"
+)
+
+// Matrix is a read-only two-dimensional array with O(1) entry access.
+type Matrix = marray.Matrix
+
+// Staircase is a Matrix with an explicit blocked-column boundary per row.
+type Staircase = marray.Staircase
+
+// Dense is a materialized matrix.
+type Dense = marray.Dense
+
+// Composite is a p x q x r Monge-composite array c[i,j,k] = d[i,j]+e[j,k].
+type Composite = marray.Composite
+
+// Point is a planar point used by the geometric applications.
+type Point = marray.Point
+
+// NewFunc wraps an entry function as an implicit m x n Matrix.
+func NewFunc(m, n int, f func(i, j int) float64) Matrix {
+	return marray.Func{M: m, N: n, F: f}
+}
+
+// NewStair wraps an entry function and a per-row blocked boundary as an
+// implicit staircase matrix (+Inf at and beyond the boundary).
+func NewStair(m, n int, f func(i, j int) float64, bound func(i int) int) Staircase {
+	return marray.StairFunc{M: m, N: n, F: f, Bound: bound}
+}
+
+// FromRows builds a Dense matrix from row slices.
+func FromRows(rows [][]float64) *Dense { return marray.FromRows(rows) }
+
+// NewComposite validates and wraps the two factor matrices.
+func NewComposite(d, e Matrix) Composite { return marray.NewComposite(d, e) }
+
+// IsMonge reports whether a satisfies the Monge inequality.
+func IsMonge(a Matrix) bool { return marray.IsMonge(a) }
+
+// IsInverseMonge reports whether a satisfies the inverse-Monge inequality.
+func IsInverseMonge(a Matrix) bool { return marray.IsInverseMonge(a) }
+
+// IsStaircaseMonge reports whether a is staircase-Monge.
+func IsStaircaseMonge(a Matrix) bool { return marray.IsStaircaseMonge(a) }
+
+// Transpose returns the transposed view (Monge-ness is preserved).
+func Transpose(a Matrix) Matrix { return marray.Transpose(a) }
+
+// Negate returns the negated view (exchanges Monge and inverse-Monge, and
+// the row-minima and row-maxima problems).
+func Negate(a Matrix) Matrix { return marray.Negate(a) }
+
+// ReverseCols returns the column-reversed view (exchanges Monge and
+// inverse-Monge).
+func ReverseCols(a Matrix) Matrix { return marray.ReverseCols(a) }
+
+// ReverseRows returns the row-reversed view (exchanges Monge and
+// inverse-Monge).
+func ReverseRows(a Matrix) Matrix { return marray.ReverseRows(a) }
+
+// --- Sequential searching -------------------------------------------------
+
+// RowMinima returns the leftmost row minima of a Monge array in
+// Theta(m+n) time (SMAWK).
+func RowMinima(a Matrix) []int { return smawk.RowMinima(a) }
+
+// RowMaxima returns the leftmost row maxima of an inverse-Monge array.
+func RowMaxima(a Matrix) []int { return smawk.RowMaxima(a) }
+
+// MongeRowMaxima returns the leftmost row maxima of a Monge array (the
+// Table 1.1 problem).
+func MongeRowMaxima(a Matrix) []int { return smawk.MongeRowMaxima(a) }
+
+// StaircaseRowMinima returns the leftmost finite row minima of a
+// staircase-Monge array (-1 for fully blocked rows).
+func StaircaseRowMinima(a Matrix) []int { return smawk.StaircaseRowMinima(a) }
+
+// TubeMaxima returns, per (i,k) tube of a Monge-composite array, the
+// smallest maximising middle coordinate and the maxima values.
+func TubeMaxima(c Composite) ([][]int, [][]float64) { return smawk.TubeMaxima(c) }
+
+// TubeMinima is the minimisation analogue for inverse-Monge factors.
+func TubeMinima(c Composite) ([][]int, [][]float64) { return smawk.TubeMinima(c) }
+
+// --- PRAM -----------------------------------------------------------------
+
+// Mode selects the PRAM memory discipline.
+type Mode = pram.Mode
+
+// CRCW and CREW are the machine modes of the paper's tables.
+const (
+	CRCW = pram.CRCW
+	CREW = pram.CREW
+)
+
+// PRAM is a simulated step-synchronous PRAM with time/work accounting.
+type PRAM = pram.Machine
+
+// NewPRAM returns a machine with the given mode and declared processor
+// count (Brent scheduling of larger supersteps is automatic).
+func NewPRAM(mode Mode, procs int) *PRAM { return pram.New(mode, procs) }
+
+// RowMinimaPRAM computes leftmost row minima of a Monge array on mach:
+// O(lg n) charged time with n processors on CRCW (Table 1.1 via negation).
+func RowMinimaPRAM(mach *PRAM, a Matrix) []int { return core.RowMinima(mach, a) }
+
+// RowMaximaPRAM computes leftmost row maxima of an inverse-Monge array.
+func RowMaximaPRAM(mach *PRAM, a Matrix) []int { return core.RowMaxima(mach, a) }
+
+// MongeRowMaximaPRAM computes leftmost row maxima of a Monge array
+// (Table 1.1's problem statement).
+func MongeRowMaximaPRAM(mach *PRAM, a Matrix) []int { return core.MongeRowMaxima(mach, a) }
+
+// StaircaseRowMinimaPRAM is Theorem 2.3: leftmost finite row minima of a
+// staircase-Monge array, O(lg n) charged CRCW time with n processors
+// (Table 1.2).
+func StaircaseRowMinimaPRAM(mach *PRAM, a Matrix) []int {
+	return core.StaircaseRowMinima(mach, a)
+}
+
+// TubeMaximaPRAM solves the tube-maxima problem on mach (Table 1.3).
+func TubeMaximaPRAM(mach *PRAM, c Composite) ([][]int, [][]float64) {
+	return core.TubeMaxima(mach, c)
+}
+
+// TubeMinimaPRAM is the minimisation analogue for inverse-Monge factors.
+func TubeMinimaPRAM(mach *PRAM, c Composite) ([][]int, [][]float64) {
+	return core.TubeMinima(mach, c)
+}
+
+// --- Hypercube and constant-degree networks -------------------------------
+
+// NetworkKind selects the distributed-memory network.
+type NetworkKind = hc.Kind
+
+// Hypercube, CCC and ShuffleExchange are the network kinds of Section 3.
+const (
+	Hypercube       = hc.Cube
+	CCC             = hc.CCC
+	ShuffleExchange = hc.Shuffle
+)
+
+// Network is a simulated distributed-memory machine.
+type Network = hc.Machine
+
+// RowMinimaHypercube computes leftmost row minima of the Monge array
+// a[i,j] = f(v[i], w[j]) in the paper's distributed input model (processor
+// i holds v[i] and w[i]) on a freshly sized network of the given kind,
+// returning the answers and the machine for counter inspection
+// (Theorem 3.2's time bound; see EXPERIMENTS.md for the processor-count
+// deviation).
+func RowMinimaHypercube(kind NetworkKind, v, w []float64, f func(vi, wj float64) float64) ([]int, *Network) {
+	return hcmonge.RowMinima(kind, v, w, f)
+}
+
+// MongeRowMaximaHypercube is the Table 1.1 row-maxima problem on the
+// distributed networks.
+func MongeRowMaximaHypercube(kind NetworkKind, v, w []float64, f func(vi, wj float64) float64) ([]int, *Network) {
+	return hcmonge.MongeRowMaxima(kind, v, w, f)
+}
+
+// StaircaseRowMinimaHypercube is Theorem 3.3: staircase-Monge row minima
+// on the distributed networks; bound[i] is row i's first blocked column
+// (nonincreasing).
+func StaircaseRowMinimaHypercube(kind NetworkKind, v []float64, bound []int, w []float64, f func(vi, wj float64) float64) ([]int, *Network) {
+	return hcmonge.StaircaseRowMinima(kind, v, bound, w, f)
+}
+
+// TubeMaximaHypercube is Theorem 3.4: tube maxima of a Monge-composite
+// array on an O(n^2)-processor network in O(lg n) charged time.
+func TubeMaximaHypercube(kind NetworkKind, c Composite) ([][]int, [][]float64, *Network) {
+	return hcmonge.TubeMaxima(kind, c)
+}

@@ -1,0 +1,156 @@
+package monge
+
+import (
+	"math/rand"
+	"testing"
+
+	"monge/internal/marray"
+)
+
+func TestFacadeSequential(t *testing.T) {
+	a := FromRows([][]float64{
+		{4, 2, 7},
+		{5, 1, 6},
+		{6, 0, 5},
+	})
+	if !IsMonge(a) {
+		t.Fatal("test array should be Monge")
+	}
+	if got := RowMinima(a); got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("RowMinima = %v", got)
+	}
+	if got := MongeRowMaxima(a); got[0] != 2 || got[2] != 0 {
+		t.Fatalf("MongeRowMaxima = %v", got)
+	}
+	inv := Negate(a)
+	if !IsInverseMonge(inv) {
+		t.Fatal("negation should be inverse-Monge")
+	}
+	if got := RowMaxima(inv); got[1] != 1 {
+		t.Fatalf("RowMaxima = %v", got)
+	}
+}
+
+func TestFacadeStaircase(t *testing.T) {
+	s := NewStair(3, 3,
+		func(i, j int) float64 { return float64((i-j)*(i-j) + j) },
+		func(i int) int { return 3 - i },
+	)
+	if !IsStaircaseMonge(s) {
+		t.Fatal("stair should be staircase-Monge")
+	}
+	idx := StaircaseRowMinima(s)
+	if len(idx) != 3 {
+		t.Fatal("length wrong")
+	}
+	mach := NewPRAM(CRCW, 8)
+	pidx := StaircaseRowMinimaPRAM(mach, s)
+	for i := range idx {
+		if idx[i] != pidx[i] {
+			t.Fatalf("PRAM staircase disagrees at %d", i)
+		}
+	}
+}
+
+func TestFacadePRAMAndViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := marray.RandomMonge(rng, 20, 20)
+	mach := NewPRAM(CREW, 40)
+	got := RowMinimaPRAM(mach, a)
+	want := RowMinima(a)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("PRAM row minima disagree")
+		}
+	}
+	if mach.Time() == 0 || mach.Work() == 0 {
+		t.Fatal("counters must be charged")
+	}
+	tr := Transpose(a)
+	if tr.Rows() != a.Cols() {
+		t.Fatal("transpose dims")
+	}
+	if ReverseCols(ReverseRows(a)).At(0, 0) != a.At(19, 19) {
+		t.Fatal("reversal views wrong")
+	}
+}
+
+func TestFacadeTube(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewComposite(marray.RandomMonge(rng, 5, 6), marray.RandomMonge(rng, 6, 7))
+	argJ, vals := TubeMaxima(c)
+	mach := NewPRAM(CREW, 5*13)
+	pArgJ, pVals := TubeMaximaPRAM(mach, c)
+	for i := range argJ {
+		for k := range argJ[i] {
+			if argJ[i][k] != pArgJ[i][k] || vals[i][k] != pVals[i][k] {
+				t.Fatal("tube results disagree")
+			}
+		}
+	}
+	// inverse-Monge factors for minima
+	ci := NewComposite(marray.RandomInverseMonge(rng, 4, 5), marray.RandomInverseMonge(rng, 5, 6))
+	mArgJ, _ := TubeMinima(ci)
+	mach2 := NewPRAM(CRCW, 4*11)
+	pmArgJ, _ := TubeMinimaPRAM(mach2, ci)
+	for i := range mArgJ {
+		for k := range mArgJ[i] {
+			if mArgJ[i][k] != pmArgJ[i][k] {
+				t.Fatal("tube minima disagree")
+			}
+		}
+	}
+}
+
+func TestFacadeHypercube(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 16
+	a := marray.RandomMonge(rng, n, n)
+	v := make([]float64, n)
+	w := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i)
+		w[i] = float64(i)
+	}
+	f := func(vi, wj float64) float64 { return a.At(int(vi), int(wj)) }
+	want := RowMinima(a)
+	for _, kind := range []NetworkKind{Hypercube, CCC, ShuffleExchange} {
+		got, mach := RowMinimaHypercube(kind, v, w, f)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("kind %v disagrees", kind)
+			}
+		}
+		if mach.Time() == 0 {
+			t.Fatal("network time must be charged")
+		}
+	}
+	gotMax, _ := MongeRowMaximaHypercube(Hypercube, v, w, f)
+	wantMax := MongeRowMaxima(a)
+	for i := range wantMax {
+		if gotMax[i] != wantMax[i] {
+			t.Fatal("hypercube maxima disagree")
+		}
+	}
+	// staircase
+	bounds := marray.RandomStaircaseBoundary(rng, n, n)
+	st := NewStair(n, n, func(i, j int) float64 { return a.At(i, j) }, func(i int) int { return bounds[i] })
+	wantSt := StaircaseRowMinima(st)
+	gotSt, _ := StaircaseRowMinimaHypercube(Hypercube, v, bounds, w, f)
+	for i := range wantSt {
+		if gotSt[i] != wantSt[i] {
+			t.Fatal("hypercube staircase disagrees")
+		}
+	}
+	// tube
+	c := NewComposite(marray.RandomMonge(rng, 6, 6), marray.RandomMonge(rng, 6, 6))
+	wantJ, _ := TubeMaxima(c)
+	gotJ, _, _ := TubeMaximaHypercube(Hypercube, c)
+	for i := range wantJ {
+		for k := range wantJ[i] {
+			if gotJ[i][k] != wantJ[i][k] {
+				t.Fatal("hypercube tube disagrees")
+			}
+		}
+	}
+}
