@@ -469,6 +469,31 @@ func randStr(rng *rand.Rand, n int) string {
 	return string(bs)
 }
 
+// --- Runtime: the persistent worker pool under row-minima workloads --------
+
+// BenchmarkRuntime_RowMinimaWorkers runs the Table 1.1 CRCW workload with
+// explicit pool sizes. The runtime's chunking contract makes the charged
+// metrics identical across worker counts (TestWorkerCountDeterminism pins
+// this); what varies is simulator wall-clock, which is the overhead this
+// benchmark watches. Compare against BenchmarkStepLoop_* in internal/exec
+// for the isolated dispatch cost.
+func BenchmarkRuntime_RowMinimaWorkers(b *testing.B) {
+	for _, n := range []int{512, 1024} {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				a := marray.RandomMonge(rand.New(rand.NewSource(1)), n, n)
+				mach := pram.New(pram.CRCW, n)
+				mach.SetWorkers(w)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.RowMinima(mach, a)
+				}
+				reportMachine(b, mach, n)
+			})
+		}
+	}
+}
+
 // --- Ablations: the design choices DESIGN.md calls out ---------------------
 
 // BenchmarkAblation_LeafReduction isolates the CRCW doubly-logarithmic

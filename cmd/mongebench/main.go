@@ -10,6 +10,12 @@
 // of sizes plus the "shape ratio" time/bound(n), which should stay roughly
 // flat when the measured growth matches the claimed bound. See
 // EXPERIMENTS.md for the recorded runs and deviations.
+//
+// With -trace, every simulated machine (including the recursive child
+// machines that ParallelDo and Subcubes create) reports per-step runtime
+// counters to a shared collector, and the aggregate is written as JSON
+// ("-" for stdout) when the experiments finish. The schema is documented
+// in README.md under "Instrumentation".
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"monge/internal/core"
+	"monge/internal/exec"
 	"monge/internal/geom"
 	"monge/internal/hcmonge"
 	hc "monge/internal/hypercube"
@@ -30,13 +37,19 @@ import (
 )
 
 var (
-	expFlag = flag.String("exp", "all", "experiment: all, t11, t12, t13, fig11, app1, app2, app3, app4")
-	maxN    = flag.Int("maxn", 2048, "largest problem size in the ladder")
-	seed    = flag.Int64("seed", 1, "workload seed")
+	expFlag   = flag.String("exp", "all", "experiment: all, t11, t12, t13, fig11, app1, app2, app3, app4")
+	maxN      = flag.Int("maxn", 2048, "largest problem size in the ladder")
+	seed      = flag.Int64("seed", 1, "workload seed")
+	traceFlag = flag.String("trace", "", "write aggregated per-step runtime counters as JSON to this file (\"-\" for stdout)")
 )
 
 func main() {
 	flag.Parse()
+	var collector *exec.Collector
+	if *traceFlag != "" {
+		collector = exec.NewCollector()
+		exec.SetGlobalSink(collector)
+	}
 	ok := false
 	run := func(name string, f func()) {
 		if *expFlag == "all" || *expFlag == name {
@@ -56,6 +69,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
 		os.Exit(2)
 	}
+	if collector != nil {
+		if err := writeTrace(collector, *traceFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the collector's aggregates to path ("-" = stdout).
+func writeTrace(c *exec.Collector, path string) error {
+	if path == "-" {
+		return c.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func sizes(limit int) []int {

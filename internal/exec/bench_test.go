@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+// The simulator-overhead question the runtime answers: a machine executes
+// thousands of small supersteps, and the old implementation spawned a
+// fresh goroutine set for every one of them. These benchmarks compare that
+// pattern against the persistent pool on the same chunked loop, at the
+// step sizes row-minima workloads actually produce (a few hundred to a few
+// thousand virtual processors).
+
+const benchWorkers = 4
+
+// spawnFor is the deleted per-step implementation that pram.Machine and
+// hypercube.Machine each used to carry: goroutine-per-worker, re-created
+// on every loop. Kept here as the benchmark baseline only.
+func spawnFor(workers, n int, body func(i int)) {
+	if n < serialCutoff || workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	w := workers
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func benchSizes() []int { return []int{256, 1024, 4096} }
+
+func BenchmarkStepLoop_SpawnPerStep(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(sizeName(n), func(b *testing.B) {
+			buf := make([]int64, n)
+			for i := 0; i < b.N; i++ {
+				spawnFor(benchWorkers, n, func(j int) { buf[j]++ })
+			}
+		})
+	}
+}
+
+func BenchmarkStepLoop_PersistentPool(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(sizeName(n), func(b *testing.B) {
+			p := NewPool(benchWorkers)
+			defer p.Close()
+			buf := make([]int64, n)
+			p.For(n, func(int) {}) // warm the workers outside the timing loop
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.For(n, func(j int) { buf[j]++ })
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 256:
+		return "n=256"
+	case 1024:
+		return "n=1024"
+	default:
+		return "n=4096"
+	}
+}

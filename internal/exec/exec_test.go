@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunkBoundsDeterministic(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 127, 128, 1000, 1 << 14, 1 << 20} {
+		size, count := ChunkBounds(n)
+		size2, count2 := ChunkBounds(n)
+		if size != size2 || count != count2 {
+			t.Fatalf("ChunkBounds(%d) not deterministic", n)
+		}
+		if n == 0 {
+			if size != 0 || count != 0 {
+				t.Fatalf("ChunkBounds(0) = (%d, %d), want (0, 0)", size, count)
+			}
+			continue
+		}
+		if size < 1 || count < 1 {
+			t.Fatalf("ChunkBounds(%d) = (%d, %d)", n, size, count)
+		}
+		if count > maxChunks {
+			t.Fatalf("ChunkBounds(%d): %d chunks exceeds cap %d", n, count, maxChunks)
+		}
+		if (count-1)*size >= n || count*size < n {
+			t.Fatalf("ChunkBounds(%d) = (%d, %d) does not tile [0, n)", n, size, count)
+		}
+	}
+}
+
+func TestForCoversEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, runtime.GOMAXPROCS(0)} {
+		for _, n := range []int{0, 1, 127, 128, 129, 1000, 1 << 14} {
+			p := NewPool(workers)
+			hits := make([]int32, n)
+			chunks := p.For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, h)
+				}
+			}
+			if n > 0 && chunks < 1 {
+				t.Fatalf("workers=%d n=%d: reported %d chunks", workers, n, chunks)
+			}
+			p.Close()
+		}
+	}
+}
+
+func TestChunkCountIndependentOfWorkers(t *testing.T) {
+	// The chunking contract: the dispatch pattern of a parallel loop is a
+	// function of n only. (One-worker pools run inline, which is the
+	// documented exception and does not affect outputs.)
+	n := 1 << 13
+	_, want := ChunkBounds(n)
+	for _, workers := range []int{2, 3, 5, 8} {
+		p := NewPool(workers)
+		got := p.For(n, func(int) {})
+		p.Close()
+		if got != want {
+			t.Fatalf("workers=%d: %d chunks, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestForAfterCloseRestarts(t *testing.T) {
+	p := NewPool(4)
+	var c1 int64
+	p.For(1024, func(int) { atomic.AddInt64(&c1, 1) })
+	p.Close()
+	var c2 int64
+	p.For(1024, func(int) { atomic.AddInt64(&c2, 1) })
+	if c1 != 1024 || c2 != 1024 {
+		t.Fatalf("got %d then %d iterations, want 1024 each", c1, c2)
+	}
+	p.Close()
+	p.Close() // idempotent
+}
+
+func TestConcurrentForSharedPool(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				p.For(512, func(int) { atomic.AddInt64(&total, 1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(8 * 20 * 512); total != want {
+		t.Fatalf("total %d, want %d", total, want)
+	}
+}
+
+func TestDefaultPoolShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() is not a singleton")
+	}
+	if w := Default().Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default pool has %d workers, want GOMAXPROCS=%d", w, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestCollectorAggregatesAndJSON(t *testing.T) {
+	c := NewCollector()
+	c.Record(StepStats{Model: "pram", Op: "step", N: 100, Cost: 1, Chunks: 2, Writes: 40, MaxShard: 3})
+	c.Record(StepStats{Model: "pram", Op: "step", N: 300, Cost: 2, Chunks: 4, Writes: 10, MaxShard: 7})
+	c.Record(StepStats{Model: "hypercube", Op: "exchange", N: 64, Cost: 1, Chunks: 1})
+	sum := c.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("got %d aggregates, want 2", len(sum))
+	}
+	// Sorted by (model, op): hypercube/exchange first.
+	if sum[0].Model != "hypercube" || sum[0].Op != "exchange" || sum[0].Steps != 1 || sum[0].Items != 64 {
+		t.Fatalf("unexpected first aggregate: %+v", sum[0])
+	}
+	ps := sum[1]
+	if ps.Steps != 2 || ps.Items != 400 || ps.MaxN != 300 || ps.Chunks != 6 || ps.Writes != 50 || ps.MaxShard != 7 {
+		t.Fatalf("unexpected pram aggregate: %+v", ps)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Ops []OpStats `json:"ops"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.Ops) != 2 || doc.Ops[1].Writes != 50 {
+		t.Fatalf("JSON round-trip mismatch: %+v", doc.Ops)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 1000; r++ {
+				c.Record(StepStats{Model: "pram", Op: "step", N: 1, Chunks: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	sum := c.Summary()
+	if len(sum) != 1 || sum[0].Steps != 8000 {
+		t.Fatalf("got %+v, want 8000 steps", sum)
+	}
+}
+
+func TestGlobalSink(t *testing.T) {
+	if GlobalSink() != nil {
+		t.Fatal("global sink unexpectedly set at test start")
+	}
+	c := NewCollector()
+	SetGlobalSink(c)
+	if GlobalSink() != Sink(c) {
+		t.Fatal("SetGlobalSink did not install the sink")
+	}
+	SetGlobalSink(nil)
+	if GlobalSink() != nil {
+		t.Fatal("SetGlobalSink(nil) did not detach the sink")
+	}
+}

@@ -1,0 +1,243 @@
+// Package exec is the shared execution runtime of the simulated machines:
+// a persistent worker pool with deterministic chunk assignment, plus the
+// instrumentation hooks (per-step counters exportable as JSON) that the
+// benchmark harness consumes.
+//
+// # Why a shared runtime
+//
+// Both simulated machine families (the PRAM of internal/pram and the
+// networks of internal/hypercube) execute every charged superstep as a
+// data-parallel loop over virtual processors. Spawning a fresh goroutine
+// set per superstep charges the simulator a scheduler round-trip on every
+// one of the (often thousands of) tiny steps a recursion performs. The
+// Pool here is started lazily once, keeps its workers parked on a job
+// channel between steps, and is reused by every superstep of every
+// machine that shares it — including the child machines that ParallelDo
+// and Subcubes create for recursive subproblems, which inherit the
+// parent's pool and sink instead of falling back to a private (or worse,
+// sequential) runtime.
+//
+// # Dispatch
+//
+// A parallel loop is cut at the ChunkBounds boundaries and published to
+// the workers as one shared descriptor; workers (and the calling
+// goroutine, which always participates) claim chunks with an atomic
+// counter. Publishing is a handful of non-blocking channel sends, so a
+// loop costs O(workers) dispatch work regardless of its chunk count, and
+// when every worker is busy — or the process has a single CPU — the
+// caller simply executes all chunks itself at inline-loop speed.
+//
+// # Determinism contract
+//
+// Chunk boundaries are a pure function of the iteration count n (see
+// ChunkBounds): they do not depend on the worker count or on GOMAXPROCS.
+// Within a chunk, iterations run in increasing index order on a single
+// goroutine. Which goroutine claims a chunk is scheduling-dependent, so
+// loop bodies must be independent — which machine supersteps are by
+// construction: all cross-processor writes are buffered and committed at
+// the step barrier, never observed mid-step. Under that discipline the
+// simulated outputs and every charged counter are identical for any
+// worker count, which TestWorkerCountDeterminism pins down.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// serialCutoff is the loop size below which dispatching to the pool
+	// costs more than it saves; such loops run inline on the caller.
+	serialCutoff = 128
+	// minChunk is the smallest chunk a claimant takes: small enough to
+	// split the few-hundred-processor steps row-minima recursions produce,
+	// large enough that a chunk amortizes its atomic claim.
+	minChunk = 128
+	// maxChunks bounds the number of chunks per loop so claim traffic
+	// stays bounded even for huge steps.
+	maxChunks = 256
+)
+
+// ChunkBounds returns the deterministic chunk size and chunk count for a
+// loop of n iterations. Both are functions of n only — never of the worker
+// count — so the runtime's chunk boundaries are reproducible across
+// machines and GOMAXPROCS settings.
+func ChunkBounds(n int) (size, count int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	size = (n + maxChunks - 1) / maxChunks
+	if size < minChunk {
+		size = minChunk
+	}
+	count = (n + size - 1) / size
+	return size, count
+}
+
+// job is one parallel loop, shared by every goroutine helping with it.
+// Chunk k covers indices [k*size, min((k+1)*size, n)); claimants take the
+// next unclaimed chunk by incrementing next.
+type job struct {
+	next *int64
+	n    int
+	size int
+	body func(i int)
+	wg   *sync.WaitGroup
+}
+
+// run claims and executes chunks until none remain. Safe to call from any
+// number of goroutines; each chunk is executed exactly once.
+func (j job) run() {
+	for {
+		k := atomic.AddInt64(j.next, 1) - 1
+		lo := int(k) * j.size
+		if lo >= j.n {
+			return
+		}
+		hi := lo + j.size
+		if hi > j.n {
+			hi = j.n
+		}
+		for i := lo; i < hi; i++ {
+			j.body(i)
+		}
+		j.wg.Done()
+	}
+}
+
+// Pool is a persistent worker pool. The zero value is not usable; create
+// pools with NewPool or share the process-wide Default pool. Workers start
+// lazily on the first parallel loop and park on the job channel between
+// steps; Close stops them (idempotently), and a closed pool restarts
+// lazily if used again, so Machine.Reset can shut the pool down without
+// poisoning later runs.
+type Pool struct {
+	workers int
+
+	// mu protects jobs: For holds the read side while publishing so that a
+	// concurrent Close (write side) can never close the channel mid-send.
+	mu   sync.RWMutex
+	jobs chan job
+}
+
+// NewPool returns a pool with the given number of workers (values < 1 are
+// clamped to 1; a one-worker pool runs every loop inline). The workers are
+// not started until the first use. A finalizer closes the pool when it
+// becomes unreachable, so abandoned machines cannot leak parked goroutines.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	// Workers hold only the job channel, not *Pool, so an unreachable pool
+	// is collectable and its finalizer can release the parked goroutines.
+	runtime.SetFinalizer(p, (*Pool).Close)
+	return p
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool, sized by GOMAXPROCS at
+// first use. Machines created without an explicit pool run on it.
+func Default() *Pool {
+	defaultOnce.Do(func() {
+		defaultPool = &Pool{workers: runtime.GOMAXPROCS(0)}
+	})
+	return defaultPool
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the pool's workers. It is idempotent and safe to call
+// concurrently with For; a subsequent For restarts the workers lazily.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.jobs != nil {
+		close(p.jobs)
+		p.jobs = nil
+	}
+	p.mu.Unlock()
+}
+
+// ensure starts the workers if they are not running.
+func (p *Pool) ensure() {
+	p.mu.Lock()
+	if p.jobs == nil {
+		p.jobs = make(chan job, p.workers)
+		for w := 0; w < p.workers; w++ {
+			go worker(p.jobs)
+		}
+	}
+	p.mu.Unlock()
+}
+
+func worker(jobs <-chan job) {
+	for j := range jobs {
+		j.run()
+	}
+}
+
+// For executes body(0..n-1) on the pool and returns the number of chunks
+// the loop was cut into (1 when it ran inline). The calling goroutine
+// always participates, so a loop completes even if every worker is busy;
+// For returns only after all iterations have completed, which is the step
+// barrier of the simulated machines.
+func (p *Pool) For(n int, body func(i int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if p.workers <= 1 || n < serialCutoff {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return 1
+	}
+	size, count := ChunkBounds(n)
+	if count == 1 {
+		// A single chunk gains nothing from publishing to the workers.
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return 1
+	}
+
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(count)
+	j := job{next: &next, n: n, size: size, body: body, wg: &wg}
+
+	p.mu.RLock()
+	if p.jobs == nil {
+		p.mu.RUnlock()
+		p.ensure()
+		p.mu.RLock()
+	}
+	// Publish one help request per worker that could usefully join, but
+	// never block: if the buffer is full the workers are already saturated
+	// and the caller's own run() below keeps the loop progressing. If a
+	// concurrent Close nilled the channel, the caller just does all the
+	// work itself. Workers draining a stale request after the loop has
+	// finished find no chunk to claim and park again immediately.
+	helpers := p.workers - 1
+	if helpers > count-1 {
+		helpers = count - 1
+	}
+publish:
+	for h := 0; h < helpers && p.jobs != nil; h++ {
+		select {
+		case p.jobs <- j:
+		default:
+			break publish
+		}
+	}
+	p.mu.RUnlock()
+
+	j.run()
+	wg.Wait()
+	return count
+}

@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// StepStats describes one charged superstep executed on the runtime. The
+// machines emit one record per step to their Sink (when one is attached);
+// the fields cover both machine families, with the PRAM-only write-buffer
+// fields left zero by the network machines.
+type StepStats struct {
+	// Model identifies the emitting machine: "pram" or a network kind
+	// ("hypercube", "cube-connected-cycles", "shuffle-exchange").
+	Model string `json:"model"`
+	// Op is the step flavour: "step" (PRAM superstep), "local" (network
+	// compute step), or "exchange" (network communication step).
+	Op string `json:"op"`
+	// N is the number of virtual processors the step activated.
+	N int `json:"n"`
+	// Cost is the charged per-processor operation count.
+	Cost int `json:"cost"`
+	// Chunks is the number of pool chunks the loop was dispatched as
+	// (1 means it ran inline on the calling goroutine).
+	Chunks int `json:"chunks"`
+	// Writes is the number of buffered writes flushed at the step barrier
+	// (PRAM only).
+	Writes int `json:"writes,omitempty"`
+	// MaxShard is the largest number of writes that landed in a single
+	// write-buffer shard this step — the contention proxy for the 64-way
+	// sharded buffers (PRAM only).
+	MaxShard int `json:"max_shard,omitempty"`
+}
+
+// Sink receives one record per charged superstep. Implementations must be
+// safe for concurrent use: ParallelDo branches and independent machines
+// may share one sink. Record is called at step barriers, never from inside
+// a step body.
+type Sink interface {
+	Record(StepStats)
+}
+
+// OpStats is the aggregate a Collector keeps per (model, op) pair.
+type OpStats struct {
+	Model    string `json:"model"`
+	Op       string `json:"op"`
+	Steps    int64  `json:"steps"`     // records seen
+	Items    int64  `json:"items"`     // sum of N
+	MaxN     int    `json:"max_n"`     // largest single step
+	Chunks   int64  `json:"chunks"`    // sum of dispatched chunks
+	Writes   int64  `json:"writes"`    // sum of flushed writes
+	MaxShard int    `json:"max_shard"` // worst single-shard burst
+}
+
+// Collector is a Sink that aggregates records per (model, op) pair. Its
+// JSON export is the instrumentation format cmd/mongebench's -trace flag
+// writes (see README "Instrumentation" for the schema).
+type Collector struct {
+	mu  sync.Mutex
+	agg map[[2]string]*OpStats
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{agg: make(map[[2]string]*OpStats)}
+}
+
+// Record folds one step into the aggregates.
+func (c *Collector) Record(s StepStats) {
+	key := [2]string{s.Model, s.Op}
+	c.mu.Lock()
+	o := c.agg[key]
+	if o == nil {
+		o = &OpStats{Model: s.Model, Op: s.Op}
+		c.agg[key] = o
+	}
+	o.Steps++
+	o.Items += int64(s.N)
+	if s.N > o.MaxN {
+		o.MaxN = s.N
+	}
+	o.Chunks += int64(s.Chunks)
+	o.Writes += int64(s.Writes)
+	if s.MaxShard > o.MaxShard {
+		o.MaxShard = s.MaxShard
+	}
+	c.mu.Unlock()
+}
+
+// Summary returns the aggregates sorted by (model, op).
+func (c *Collector) Summary() []OpStats {
+	c.mu.Lock()
+	out := make([]OpStats, 0, len(c.agg))
+	for _, o := range c.agg {
+		out = append(out, *o)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Model != out[j].Model {
+			return out[i].Model < out[j].Model
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// WriteJSON writes the aggregates as an indented JSON document:
+//
+//	{"ops": [{"model": ..., "op": ..., "steps": ..., ...}, ...]}
+func (c *Collector) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Ops []OpStats `json:"ops"`
+	}{Ops: c.Summary()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+var (
+	globalMu   sync.RWMutex
+	globalSink Sink
+)
+
+// SetGlobalSink installs the sink that newly created machines attach by
+// default (nil detaches). It exists for whole-process harnesses like
+// cmd/mongebench, which cannot reach the machines that algorithms size and
+// create internally; tests should prefer per-machine SetSink.
+func SetGlobalSink(s Sink) {
+	globalMu.Lock()
+	globalSink = s
+	globalMu.Unlock()
+}
+
+// GlobalSink returns the currently installed process-wide sink (nil when
+// instrumentation is off).
+func GlobalSink() Sink {
+	globalMu.RLock()
+	s := globalSink
+	globalMu.RUnlock()
+	return s
+}

@@ -26,8 +26,8 @@ package hypercube
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"monge/internal/exec"
 )
 
 // Kind selects the interconnection network being simulated.
@@ -74,15 +74,60 @@ type Machine struct {
 	align    int
 	hasAlign bool
 
-	workers int
+	// pool executes the per-processor loops of every step; ownPool marks a
+	// private pool installed by SetWorkers, which Reset shuts down. sink,
+	// when non-nil, receives one instrumentation record per charged step.
+	// Child machines created by Subcubes and ParallelDo inherit both.
+	pool    *exec.Pool
+	ownPool bool
+	sink    exec.Sink
 }
 
-// New returns a machine of the given kind with 2^d processors.
+// New returns a machine of the given kind with 2^d processors, running on
+// the shared exec.Default worker pool and attached to the process-wide
+// instrumentation sink if one is installed.
 func New(kind Kind, d int) *Machine {
 	if d < 0 {
 		panic("hypercube: negative dimension")
 	}
-	return &Machine{kind: kind, d: d, n: 1 << d, workers: runtime.GOMAXPROCS(0)}
+	return &Machine{kind: kind, d: d, n: 1 << d, pool: exec.Default(), sink: exec.GlobalSink()}
+}
+
+// child returns a machine for a recursive subproblem: the given kind and
+// dimension with the parent's pool and sink, keeping recursion on the
+// persistent runtime and in the trace.
+func (m *Machine) child(kind Kind, d int) *Machine {
+	sub := New(kind, d)
+	sub.pool = m.pool
+	sub.sink = m.sink
+	return sub
+}
+
+// SetWorkers installs a private worker pool with the given worker count,
+// replacing the shared default. Outputs and charged costs are identical
+// for any value (the runtime's chunking contract); the knob exists for
+// determinism and overhead experiments. A previous private pool is shut
+// down.
+func (m *Machine) SetWorkers(w int) {
+	if m.ownPool {
+		m.pool.Close()
+	}
+	m.pool = exec.NewPool(w)
+	m.ownPool = true
+}
+
+// Workers returns the worker count of the machine's pool.
+func (m *Machine) Workers() int { return m.pool.Workers() }
+
+// SetSink attaches an instrumentation sink receiving one record per
+// charged step (nil detaches). Subcubes and ParallelDo children inherit it.
+func (m *Machine) SetSink(s exec.Sink) { m.sink = s }
+
+// record emits one instrumentation record if a sink is attached.
+func (m *Machine) record(op string, n, cost, chunks int) {
+	if m.sink != nil {
+		m.sink.Record(exec.StepStats{Model: m.kind.String(), Op: op, N: n, Cost: cost, Chunks: chunks})
+	}
 }
 
 // NewCube returns a hypercube with 2^d processors.
@@ -106,8 +151,16 @@ func (m *Machine) Comm() int64 { return m.comm }
 // Work returns the total local-operation count.
 func (m *Machine) Work() int64 { return m.local }
 
-// Reset clears the counters.
-func (m *Machine) Reset() { m.time, m.comm, m.local = 0, 0, 0; m.hasAlign = false }
+// Reset clears the counters and shuts down the machine's private pool, if
+// any (it restarts lazily on the next step; the shared default pool is
+// left running for other machines).
+func (m *Machine) Reset() {
+	m.time, m.comm, m.local = 0, 0, 0
+	m.hasAlign = false
+	if m.ownPool {
+		m.pool.Close()
+	}
+}
 
 // Local executes one local superstep: body(p) runs on every processor p,
 // touching only processor p's cells. cost is the number of elementary
@@ -118,7 +171,8 @@ func (m *Machine) Local(cost int, body func(p int)) {
 	}
 	m.time += int64(cost)
 	m.local += int64(cost) * int64(m.n)
-	m.parallelFor(m.n, body)
+	chunks := m.pool.For(m.n, body)
+	m.record("local", m.n, cost, chunks)
 }
 
 // exchangeCharge accounts for one exchange over dimension dim under the
@@ -152,40 +206,6 @@ func (m *Machine) exchangeCharge(dim int) {
 	m.comm += int64(m.n)
 }
 
-// parallelFor runs body over the processor range on the worker pool.
-func (m *Machine) parallelFor(n int, body func(p int)) {
-	w := m.workers
-	if n < 256 || w <= 1 {
-		for p := 0; p < n; p++ {
-			body(p)
-		}
-		return
-	}
-	if w > n {
-		w = n
-	}
-	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
-		lo := g * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for p := lo; p < hi; p++ {
-				body(p)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
 // Subcubes partitions the machine into 2^k complete sub-hypercubes of
 // dimension d-k (fixing the high k address bits) and runs body on each; the
 // parent is charged the maximum child time (the subcubes operate
@@ -200,8 +220,7 @@ func (m *Machine) Subcubes(k int, body func(c int, sub *Machine)) {
 	var maxTime int64
 	var sumComm, sumLocal int64
 	for c := 0; c < 1<<k; c++ {
-		sub := New(m.kind, m.d-k)
-		sub.workers = m.workers
+		sub := m.child(m.kind, m.d-k)
 		body(c, sub)
 		if sub.time > maxTime {
 			maxTime = sub.time
@@ -224,8 +243,7 @@ func (m *Machine) Subcubes(k int, body func(c int, sub *Machine)) {
 func (m *Machine) ParallelDo(dims []int, body func(b int, sub *Machine)) {
 	var maxTime, sumComm, sumLocal int64
 	for b := range dims {
-		sub := New(m.kind, dims[b])
-		sub.workers = m.workers
+		sub := m.child(m.kind, dims[b])
 		body(b, sub)
 		if sub.time > maxTime {
 			maxTime = sub.time
@@ -279,9 +297,10 @@ func Exchange[T any](m *Machine, dim int, v *Vec[T]) *Vec[T] {
 	m.exchangeCharge(dim)
 	out := &Vec[T]{m: m, vals: make([]T, m.n)}
 	mask := 1 << dim
-	m.parallelFor(m.n, func(p int) {
+	chunks := m.pool.For(m.n, func(p int) {
 		out.vals[p] = v.vals[p^mask]
 	})
+	m.record("exchange", m.n, 1, chunks)
 	return out
 }
 
@@ -293,8 +312,9 @@ func CondSwap[T any](m *Machine, dim int, v *Vec[T], keep func(p int, mine, thei
 	m.exchangeCharge(dim)
 	mask := 1 << dim
 	next := make([]T, m.n)
-	m.parallelFor(m.n, func(p int) {
+	chunks := m.pool.For(m.n, func(p int) {
 		next[p] = keep(p, v.vals[p], v.vals[p^mask])
 	})
+	m.record("exchange", m.n, 1, chunks)
 	v.vals = next
 }

@@ -194,7 +194,7 @@ func routeBits[T any](m *Machine, items *Vec[Opt[routeItem[T]]], ascending bool)
 			cur.Set(p, mine)
 		})
 	}
-	m.parallelFor(m.n, func(p int) {
+	m.pool.For(m.n, func(p int) {
 		if it := cur.Get(p); it.Ok && it.Val.dst != p {
 			panic(fmt.Sprintf("hypercube: item for %d stranded at %d", it.Val.dst, p))
 		}

@@ -35,6 +35,54 @@ func RandomMonge(rng *rand.Rand, m, n int) *Dense {
 	return d
 }
 
+// RandomMongeInt returns a dense m x n Monge array with small integer
+// entries, by the same cumulative-sum construction as RandomMonge with
+// q[k][l] drawn from {0, -1, ..., -(spread-1)}. Integer sums are exact in
+// float64 and collide often, so equal-value ties are plentiful — the input
+// family that exercises leftmost-tie-breaking rules (the fuzz harness
+// leans on it; random real-valued arrays essentially never tie).
+func RandomMongeInt(rng *rand.Rand, m, n, spread int) *Dense {
+	if spread < 1 {
+		spread = 1
+	}
+	d := NewDense(m, n)
+	rowOff := make([]float64, m)
+	colOff := make([]float64, n)
+	for i := range rowOff {
+		rowOff[i] = float64(rng.Intn(2 * spread))
+	}
+	for j := range colOff {
+		colOff[j] = float64(rng.Intn(2 * spread))
+	}
+	prefix := make([]float64, n)
+	for i := 0; i < m; i++ {
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc -= float64(rng.Intn(spread))
+			prefix[j] += acc
+			d.Set(i, j, rowOff[i]+colOff[j]+prefix[j])
+		}
+	}
+	return d
+}
+
+// RandomStaircaseMongeInt is RandomStaircaseMonge over an integer-valued
+// Monge core: a tie-rich staircase-Monge array (with probability ~1/4 the
+// boundary is all-n, i.e. a plain Monge array).
+func RandomStaircaseMongeInt(rng *rand.Rand, m, n, spread int) *Dense {
+	d := RandomMongeInt(rng, m, n, spread)
+	if rng.Intn(4) == 0 {
+		return d
+	}
+	bounds := RandomStaircaseBoundary(rng, m, n)
+	for i := 0; i < m; i++ {
+		for j := bounds[i]; j < n; j++ {
+			d.Set(i, j, Inf)
+		}
+	}
+	return d
+}
+
 // RandomInverseMonge returns a dense m x n inverse-Monge array (the
 // negation of a RandomMonge array, re-centered so values stay in a similar
 // range).

@@ -21,16 +21,20 @@
 // rule (lowest processor id wins), which is deterministic and at least as
 // strong as the common and arbitrary CRCW variants assumed by the paper.
 //
-// Supersteps execute on a real goroutine pool, so the simulation is itself
-// parallel, but the reproduced quantities are the step/time/work counters,
-// not wall-clock speed.
+// Supersteps execute on the persistent worker pool of internal/exec, so
+// the simulation is itself parallel, but the reproduced quantities are the
+// step/time/work counters, not wall-clock speed. The pool's deterministic
+// chunking guarantees identical outputs and charged costs for any worker
+// count; child machines created by ParallelDo inherit the parent's pool
+// and instrumentation sink.
 package pram
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"monge/internal/exec"
 )
 
 // Mode selects the memory access discipline of a Machine.
@@ -79,8 +83,16 @@ type Machine struct {
 	steps int64 // number of supersteps
 	work  int64 // total virtual processor activations
 
-	stepID  int64
-	workers int
+	stepID int64
+
+	// pool executes the parallel loops of every superstep; ownPool marks a
+	// private pool installed by SetWorkers, which Reset shuts down (the
+	// shared exec.Default pool is left running for other machines).
+	pool    *exec.Pool
+	ownPool bool
+	// sink, when non-nil, receives one instrumentation record per charged
+	// superstep. Child machines inherit it.
+	sink exec.Sink
 
 	// dirty lists the arrays with pending writes in the current step; an
 	// array registers itself on its first write of a step and is flushed
@@ -92,7 +104,9 @@ type Machine struct {
 }
 
 type flusher interface {
-	flush(m *Machine)
+	// flush applies the pending writes and reports how many records were
+	// applied plus the largest single-shard burst (contention proxy).
+	flush(m *Machine) (writes, maxShard int)
 }
 
 // markDirty registers f for flushing at the end of the current step.
@@ -104,13 +118,45 @@ func (m *Machine) markDirty(f flusher) {
 
 // New returns a Machine with the given mode and declared processor count.
 // The processor count only affects the time accounting (Brent scheduling);
-// the simulation always uses all available cores.
+// the simulation runs on the shared exec.Default worker pool (sized by
+// GOMAXPROCS) unless SetWorkers installs a private one, and attaches the
+// process-wide instrumentation sink if one is installed.
 func New(mode Mode, procs int) *Machine {
 	if procs < 1 {
 		procs = 1
 	}
-	return &Machine{mode: mode, procs: procs, workers: runtime.GOMAXPROCS(0)}
+	return &Machine{mode: mode, procs: procs, pool: exec.Default(), sink: exec.GlobalSink()}
 }
+
+// child returns a machine for a ParallelDo branch: same mode, the given
+// declared processor count, and — crucially — the parent's pool and sink,
+// so recursive subproblems stay on the persistent runtime and remain
+// traced end-to-end instead of silently falling back to a default.
+func (m *Machine) child(procs int) *Machine {
+	sub := New(m.mode, procs)
+	sub.pool = m.pool
+	sub.sink = m.sink
+	return sub
+}
+
+// SetWorkers installs a private worker pool with the given worker count,
+// replacing the shared default. It exists for determinism and overhead
+// experiments; outputs and charged costs are identical for any value (the
+// runtime's chunking contract). A previous private pool is shut down.
+func (m *Machine) SetWorkers(w int) {
+	if m.ownPool {
+		m.pool.Close()
+	}
+	m.pool = exec.NewPool(w)
+	m.ownPool = true
+}
+
+// Workers returns the worker count of the machine's pool.
+func (m *Machine) Workers() int { return m.pool.Workers() }
+
+// SetSink attaches an instrumentation sink receiving one record per
+// charged superstep (nil detaches). ParallelDo children inherit it.
+func (m *Machine) SetSink(s exec.Sink) { m.sink = s }
 
 // Mode returns the machine's memory access mode.
 func (m *Machine) Mode() Mode { return m.mode }
@@ -129,9 +175,15 @@ func (m *Machine) Steps() int64 { return m.steps }
 // by per-step cost (the processor-time product of the simulated program).
 func (m *Machine) Work() int64 { return m.work }
 
-// Reset clears the cost counters (registered arrays keep their contents).
+// Reset clears the cost counters (registered arrays keep their contents)
+// and shuts down the machine's private pool, if any; the pool restarts
+// lazily if the machine is used again. The shared default pool is left
+// running for other machines.
 func (m *Machine) Reset() {
 	m.time, m.steps, m.work = 0, 0, 0
+	if m.ownPool {
+		m.pool.Close()
+	}
 }
 
 // Step executes one superstep with n virtual processors, each running
@@ -158,52 +210,31 @@ func (m *Machine) StepCost(n, cost int, body func(id int)) {
 	m.work += int64(cost) * int64(n)
 	m.stepID++
 
-	m.parallelFor(n, body)
+	chunks := m.pool.For(n, body)
 
+	writes, maxShard := 0, 0
 	for _, a := range m.dirty {
-		a.flush(m)
+		w, ms := a.flush(m)
+		writes += w
+		if ms > maxShard {
+			maxShard = ms
+		}
 	}
 	m.dirty = m.dirty[:0]
+
+	if m.sink != nil {
+		m.sink.Record(exec.StepStats{
+			Model: "pram", Op: "step",
+			N: n, Cost: cost, Chunks: chunks,
+			Writes: writes, MaxShard: maxShard,
+		})
+	}
 }
 
 // Sequential runs body outside the parallel cost model (for setup and
 // verification code in tests and benchmarks). It costs nothing and flushes
 // nothing; do not call Array.Write from it.
 func (m *Machine) Sequential(body func()) { body() }
-
-// parallelFor executes body(0..n-1) on the worker pool.
-func (m *Machine) parallelFor(n int, body func(id int)) {
-	w := m.workers
-	if n < 128 || w <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	if w > n {
-		w = n
-	}
-	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
-		lo := g * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-}
 
 // shardCount is the number of write-buffer shards per array; writes are
 // sharded by cell index to reduce lock contention.
@@ -277,14 +308,19 @@ func (a *Array[T]) Snapshot() []T {
 	return out
 }
 
-// flush applies pending writes under the machine's conflict rules.
-func (a *Array[T]) flush(m *Machine) {
+// flush applies pending writes under the machine's conflict rules and
+// reports the applied record count and the largest single shard.
+func (a *Array[T]) flush(m *Machine) (writes, maxShard int) {
 	atomic.StoreInt32(&a.dirty, 0)
 	step := m.stepID
 	for si := range a.shards {
 		s := &a.shards[si]
 		if len(s.recs) == 0 {
 			continue
+		}
+		writes += len(s.recs)
+		if len(s.recs) > maxShard {
+			maxShard = len(s.recs)
 		}
 		for _, r := range s.recs {
 			if a.stamp[r.idx] != step {
@@ -309,4 +345,5 @@ func (a *Array[T]) flush(m *Machine) {
 		}
 		s.recs = s.recs[:0]
 	}
+	return writes, maxShard
 }

@@ -13,12 +13,14 @@ package pram
 // they receive (reading parent arrays is fine: concurrent reads are free in
 // both CREW and CRCW). Branches are executed sequentially in real time,
 // which keeps the simulation deterministic; only the accounting is
-// parallel.
+// parallel. Child machines are created through the runtime (child), which
+// hands them the parent's worker pool and instrumentation sink, so
+// recursive subproblems can neither fall back to a default pool nor
+// disappear from the trace.
 func (m *Machine) ParallelDo(procs []int, body func(b int, sub *Machine)) {
 	var maxTime, maxSteps, sumWork int64
 	for b := range procs {
-		sub := New(m.mode, procs[b])
-		sub.workers = m.workers
+		sub := m.child(procs[b])
 		body(b, sub)
 		if sub.time > maxTime {
 			maxTime = sub.time
