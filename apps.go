@@ -127,9 +127,16 @@ func OptimalBST(freq []float64) float64 { return dp.OptimalBST(freq) }
 // --- Transportation (the historical root) -----------------------------------
 
 // TransportGreedy runs Hoffman's northwest-corner rule, optimal for Monge
-// costs, in O(m+n).
-func TransportGreedy(supply, demand []float64, cost Matrix) (totalCost float64, flows []transport.Flow) {
+// costs, in O(m+n). An unbalanced problem (supply and demand totals
+// differ) returns an error matching ErrUnbalanced.
+func TransportGreedy(supply, demand []float64, cost Matrix) (totalCost float64, flows []transport.Flow, err error) {
 	return transport.Greedy(supply, demand, cost)
+}
+
+// MustTransportGreedy is TransportGreedy for statically balanced inputs;
+// it panics with the typed error on an unbalanced problem.
+func MustTransportGreedy(supply, demand []float64, cost Matrix) (totalCost float64, flows []transport.Flow) {
+	return transport.MustGreedy(supply, demand, cost)
 }
 
 // --- Sequential baseline re-exports ------------------------------------------

@@ -11,6 +11,7 @@ package monge
 // Run: go test -bench=. -benchmem   (see EXPERIMENTS.md for recorded runs)
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,6 +19,7 @@ import (
 
 	"monge/internal/core"
 	"monge/internal/dp"
+	"monge/internal/faults"
 	"monge/internal/geom"
 	"monge/internal/hcmonge"
 	hc "monge/internal/hypercube"
@@ -448,7 +450,7 @@ func BenchmarkExtension_Transport(b *testing.B) {
 	c := marray.RandomMonge(rng, m, n)
 	b.Run("hoffman-greedy", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			transport.Greedy(a, bb, c)
+			transport.MustGreedy(a, bb, c)
 		}
 	})
 }
@@ -541,6 +543,49 @@ func BenchmarkAblation_AllocationVsSort(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			pram.SortPadded(mach, vals, func(x, y float64) bool { return x < y }, math.Inf(1))
+		}
+		reportMachine(b, mach, n)
+	})
+}
+
+// --- Robustness: disabled-fault overhead ------------------------------------
+
+// BenchmarkRowMinima measures what the fault/cancellation machinery costs
+// when it is NOT in use — the acceptance bar is <2% on the default
+// (faults=off) configuration versus the pre-robustness runtime, which the
+// armed-hooks sub-benchmark brackets from above: "off" takes the fast
+// dispatch path (one nil-injector check per superstep), "armed" attaches
+// a never-cancelled context so every superstep goes through the
+// cancellable Run dispatch with a nil stall predicate. Recorded in
+// EXPERIMENTS.md under "Fault injection".
+func BenchmarkRowMinima(b *testing.B) {
+	const n = 1024
+	a := marray.RandomMonge(rand.New(rand.NewSource(1)), n, n)
+	b.Run("faults=off", func(b *testing.B) {
+		mach := pram.New(pram.CRCW, n)
+		mach.SetFaults(nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.RowMinima(mach, a)
+		}
+		reportMachine(b, mach, n)
+	})
+	b.Run("hooks=armed", func(b *testing.B) {
+		mach := pram.New(pram.CRCW, n)
+		mach.SetFaults(nil)
+		mach.SetContext(context.Background())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.RowMinima(mach, a)
+		}
+		reportMachine(b, mach, n)
+	})
+	b.Run("faults=0.05", func(b *testing.B) {
+		mach := pram.New(pram.CRCW, n)
+		mach.SetFaults(faults.New(1, 0.05))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.RowMinima(mach, a)
 		}
 		reportMachine(b, mach, n)
 	})

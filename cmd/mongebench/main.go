@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mongebench [-exp all|t11|t12|t13|fig11|app1|app2|app3|app4] [-maxn 2048] [-seed 1]
+//	           [-timeout 30s] [-faults 0.05] [-fault-seed 1]
 //
 // Each row reports the charged time of the simulated machine at a ladder
 // of sizes plus the "shape ratio" time/bound(n), which should stay roughly
@@ -16,9 +17,20 @@
 // counters to a shared collector, and the aggregate is written as JSON
 // ("-" for stdout) when the experiments finish. The schema is documented
 // in README.md under "Instrumentation".
+//
+// With -faults (a rate in (0, 0.9]), every simulated machine runs under
+// the deterministic fault injector of internal/faults — transient chunk
+// stalls, dropped/garbled link messages, superstep timeouts — seeded by
+// -fault-seed; results are index-identical to a fault-free run and the
+// delivered-fault counts are reported at the end. With -timeout, the run
+// is cancelled at the deadline: machines stop at the next superstep
+// boundary, the worker pool drains cleanly, and the command exits
+// non-zero reporting the typed ErrCanceled condition. See README.md
+// "Fault model & error contract".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -27,10 +39,12 @@ import (
 
 	"monge/internal/core"
 	"monge/internal/exec"
+	"monge/internal/faults"
 	"monge/internal/geom"
 	"monge/internal/hcmonge"
 	hc "monge/internal/hypercube"
 	"monge/internal/marray"
+	"monge/internal/merr"
 	"monge/internal/pram"
 	"monge/internal/rect"
 	"monge/internal/stredit"
@@ -41,7 +55,32 @@ var (
 	maxN      = flag.Int("maxn", 2048, "largest problem size in the ladder")
 	seed      = flag.Int64("seed", 1, "workload seed")
 	traceFlag = flag.String("trace", "", "write aggregated per-step runtime counters as JSON to this file (\"-\" for stdout)")
+	timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no deadline)")
+	faultRate = flag.Float64("faults", 0, "per-unit fault injection rate in (0, 0.9]; 0 disables injection")
+	faultSeed = flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
 )
+
+// benchCtx carries the -timeout deadline into every machine the
+// experiments create; nil when no deadline is set.
+var benchCtx context.Context
+
+// newPRAM returns a PRAM wired to the run's context (the process-global
+// fault injector is attached by pram.New itself).
+func newPRAM(mode pram.Mode, procs int) *pram.Machine {
+	m := pram.New(mode, procs)
+	if benchCtx != nil {
+		m.SetContext(benchCtx)
+	}
+	return m
+}
+
+// tuned wires a network machine to the run's context.
+func tuned(m *hc.Machine) *hc.Machine {
+	if benchCtx != nil {
+		m.SetContext(benchCtx)
+	}
+	return m
+}
 
 func main() {
 	flag.Parse()
@@ -50,10 +89,24 @@ func main() {
 		collector = exec.NewCollector()
 		exec.SetGlobalSink(collector)
 	}
+	var injector *faults.Injector
+	if *faultRate > 0 {
+		injector = faults.New(*faultSeed, *faultRate)
+		faults.SetGlobal(injector)
+		fmt.Printf("%s\n", injector)
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		benchCtx = ctx
+	}
 	ok := false
 	run := func(name string, f func()) {
 		if *expFlag == "all" || *expFlag == name {
-			f()
+			if err := runExperiment(f); err != nil {
+				fmt.Fprintf(os.Stderr, "\nexperiment %s aborted: %v\n", name, err)
+				os.Exit(1)
+			}
 			ok = true
 		}
 	}
@@ -75,6 +128,21 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if injector != nil {
+		s := injector.Stats()
+		fmt.Printf("\ninjected faults recovered: %d stalls, %d drops, %d garbles, %d timeouts\n",
+			s.Stalls, s.Drops, s.Garbles, s.Timeouts)
+	}
+}
+
+// runExperiment executes one experiment, converting a thrown typed
+// condition (ErrCanceled at the -timeout deadline, most commonly) into an
+// ordinary error so the command can exit cleanly with the machines
+// stopped at a superstep boundary and the pool drained.
+func runExperiment(f func()) (err error) {
+	defer merr.Catch(&err)
+	f()
+	return nil
 }
 
 // writeTrace dumps the collector's aggregates to path ("-" = stdout).
@@ -116,7 +184,7 @@ func table11() {
 	header("Table 1.1 row 1: CRCW row maxima, n x n Monge", "O(lg n) time, n processors")
 	for _, n := range sizes(*maxN) {
 		a := marray.RandomMonge(rng, n, n)
-		mach := pram.New(pram.CRCW, n)
+		mach := newPRAM(pram.CRCW, n)
 		core.MongeRowMaxima(mach, a)
 		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Procs(), mach.Work(), float64(mach.Time())/lg(n))
 	}
@@ -124,7 +192,7 @@ func table11() {
 	for _, n := range sizes(*maxN) {
 		a := marray.RandomMonge(rng, n, n)
 		p := n / pram.LogLog2Ceil(n)
-		mach := pram.New(pram.CREW, p)
+		mach := newPRAM(pram.CREW, p)
 		core.MongeRowMaxima(mach, a)
 		bound := lg(n) * float64(pram.LogLog2Ceil(n))
 		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), p, mach.Work(), float64(mach.Time())/bound)
@@ -135,7 +203,8 @@ func table11() {
 		for _, n := range sizes(min(*maxN, 1024)) {
 			a := marray.RandomMonge(rng, n, n)
 			v, w := idxVec(n), idxVec(n)
-			_, mach := hcmonge.MongeRowMaxima(kind, v, w, func(i, j int) float64 { return a.At(i, j) })
+			mach := tuned(hcmonge.MachineFor(kind, n, n))
+			hcmonge.MongeRowMaximaOn(mach, v, w, func(i, j int) float64 { return a.At(i, j) })
 			bound := lg(n) * float64(pram.LogLog2Ceil(n))
 			fmt.Printf("%8d %12d %12d %14d %12.1f  (%s)\n", n, mach.Time(), mach.Size(), mach.Work(),
 				float64(mach.Time())/bound, kind)
@@ -156,7 +225,7 @@ func table12() {
 	header("Table 1.2 row 1: CRCW staircase row minima (Thm 2.3)", "O(lg n) time, n processors")
 	for _, n := range sizes(*maxN) {
 		a := marray.RandomStaircaseMonge(rng, n, n)
-		mach := pram.New(pram.CRCW, n)
+		mach := newPRAM(pram.CRCW, n)
 		core.StaircaseRowMinima(mach, a)
 		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), n, mach.Work(), float64(mach.Time())/lg(n))
 	}
@@ -164,7 +233,7 @@ func table12() {
 	for _, n := range sizes(*maxN) {
 		a := marray.RandomStaircaseMonge(rng, n, n)
 		p := n / pram.LogLog2Ceil(n)
-		mach := pram.New(pram.CREW, p)
+		mach := newPRAM(pram.CREW, p)
 		core.StaircaseRowMinima(mach, a)
 		bound := lg(n) * float64(pram.LogLog2Ceil(n))
 		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), p, mach.Work(), float64(mach.Time())/bound)
@@ -178,7 +247,8 @@ func table12() {
 			bounds[i] = marray.BoundaryOf(a, i)
 		}
 		v, w := idxVec(n), idxVec(n)
-		_, mach := hcmonge.StaircaseRowMinima(hc.Cube, v, bounds, w, func(i, j int) float64 { return a.At(i, j) })
+		mach := tuned(hcmonge.MachineFor(hc.Cube, n, n))
+		hcmonge.StaircaseRowMinimaOn(mach, v, bounds, w, func(i, j int) float64 { return a.At(i, j) })
 		bound := lg(n) * float64(pram.LogLog2Ceil(n))
 		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Size(), mach.Work(),
 			float64(mach.Time())/bound)
@@ -192,21 +262,22 @@ func table13() {
 		"Theta(lglg n) time, n^2/lglg n procs [Ata89] -- our substitute measures O(lg n); deviation documented")
 	for _, n := range sizes(limit) {
 		c := marray.RandomComposite(rng, n, n, n)
-		mach := pram.New(pram.CRCW, 2*n*n)
+		mach := newPRAM(pram.CRCW, 2*n*n)
 		core.TubeMaxima(mach, c)
 		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), 2*n*n, mach.Work(), float64(mach.Time())/lg(n))
 	}
 	header("Table 1.3 row 2: CREW tube maxima", "Theta(lg n) time, n^2/lg n processors (ours: n*(q+r) groups)")
 	for _, n := range sizes(limit) {
 		c := marray.RandomComposite(rng, n, n, n)
-		mach := pram.New(pram.CREW, 2*n*n)
+		mach := newPRAM(pram.CREW, 2*n*n)
 		core.TubeMaxima(mach, c)
 		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), 2*n*n, mach.Work(), float64(mach.Time())/lg(n))
 	}
 	header("Table 1.3 row 3: hypercube tube maxima (Thm 3.4)", "Theta(lg n) time, n^2 processors")
 	for _, n := range sizes(min(limit, 128)) {
 		c := marray.RandomComposite(rng, n, n, n)
-		_, _, mach := hcmonge.TubeMaxima(hc.Cube, c)
+		mach := tuned(hcmonge.TubeMachineFor(hc.Cube, c))
+		hcmonge.TubeMaximaOn(mach, c)
 		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Size(), mach.Work(), float64(mach.Time())/lg(n))
 	}
 }
@@ -229,7 +300,7 @@ func figure11() {
 				agree++
 			}
 		}
-		mach := pram.New(pram.CRCW, 2*n)
+		mach := newPRAM(pram.CRCW, 2*n)
 		geom.AllFarthestNeighborsPRAM(mach, p, q)
 		fmt.Printf("%8d  smawk %10v  brute %10v  speedup %6.1fx  CRCW time %5d (t/lg n %.1f)  agree %d/%d\n",
 			n, seqT, bruteT, float64(bruteT)/float64(seqT), mach.Time(), float64(mach.Time())/lg(n), agree, n)
@@ -249,7 +320,7 @@ func app1() {
 		start := time.Now()
 		full := rect.LargestEmptyRect(pts, bounds)
 		seqT := time.Since(start)
-		mach := pram.New(pram.CRCW, n)
+		mach := newPRAM(pram.CRCW, n)
 		anch := rect.LargestAnchoredRect(mach, pts, bounds)
 		fmt.Printf("%8d  exact area %12.1f (%8v)   anchored area %12.1f  CRCW time %5d (t/lg n %.1f)\n",
 			n, full.Area(), seqT, anch.Area(), mach.Time(), float64(mach.Time())/lg(n))
@@ -268,7 +339,7 @@ func app2() {
 		start := time.Now()
 		area, _, _ := rect.MaxCornerRect(pts)
 		seqT := time.Since(start)
-		mach := pram.New(pram.CRCW, n)
+		mach := newPRAM(pram.CRCW, n)
 		parea, _, _ := rect.MaxCornerRectPRAM(mach, pts)
 		match := "ok"
 		if area != parea {
@@ -287,7 +358,7 @@ func app3() {
 		p, q, ob := geom.ObstructedChains(rng, n, n)
 		obs := []geom.Polygon{ob}
 		for _, kind := range []geom.NeighborKind{geom.NearestInvisible, geom.FarthestInvisible} {
-			mach := pram.New(pram.CRCW, 2*n)
+			mach := newPRAM(pram.CRCW, 2*n)
 			res := geom.Neighbors(kind, mach, p, q, obs)
 			fmt.Printf("%8d  %-19s CRCW time %6d (t/lg n %6.1f)  staircase rows %5d, fallback %4d\n",
 				n, kind, mach.Time(), float64(mach.Time())/lg(n), res.StaircaseRows, res.FallbackRows)
@@ -307,9 +378,9 @@ func app4() {
 		start := time.Now()
 		want := stredit.Distance(x, y, c)
 		dpT := time.Since(start)
-		m1 := pram.New(pram.CRCW, n*n)
+		m1 := newPRAM(pram.CRCW, n*n)
 		got := stredit.DistancePRAM(m1, x, y, c)
-		m2 := pram.New(pram.CRCW, n*n)
+		m2 := newPRAM(pram.CRCW, n*n)
 		stredit.DistanceWavefront(m2, x, y, c)
 		match := "ok"
 		if got != want {

@@ -52,7 +52,7 @@ func TestCrossModelRowMinimaConformance(t *testing.T) {
 				marray.RandomMonge(rng, sh.m, sh.n),
 				marray.RandomMongeInt(rng, sh.m, sh.n, 3), // tie-rich
 			} {
-				want := RowMinima(a) // sequential SMAWK reference
+				want := MustRowMinima(a) // sequential SMAWK reference
 				check := func(model string, got []int) {
 					t.Helper()
 					for i := range want {
@@ -62,11 +62,11 @@ func TestCrossModelRowMinimaConformance(t *testing.T) {
 						}
 					}
 				}
-				check("CRCW", RowMinimaPRAM(NewPRAM(CRCW, sh.n), a))
-				check("CREW", RowMinimaPRAM(NewPRAM(CREW, sh.n), a))
+				check("CRCW", MustRowMinimaPRAM(NewPRAM(CRCW, sh.n), a))
+				check("CREW", MustRowMinimaPRAM(NewPRAM(CREW, sh.n), a))
 				v, w, f := netInputs(a)
 				for _, nk := range networkKinds {
-					got, _ := RowMinimaHypercube(nk.kind, v, w, f)
+					got, _ := MustRowMinimaHypercube(nk.kind, v, w, f)
 					check(nk.name, got)
 				}
 			}
@@ -83,7 +83,7 @@ func TestCrossModelStaircaseConformance(t *testing.T) {
 				marray.RandomStaircaseMonge(rng, sh.m, sh.n),
 				marray.RandomStaircaseMongeInt(rng, sh.m, sh.n, 3),
 			} {
-				want := StaircaseRowMinima(a)
+				want := MustStaircaseRowMinima(a)
 				check := func(model string, got []int) {
 					t.Helper()
 					for i := range want {
@@ -93,15 +93,15 @@ func TestCrossModelStaircaseConformance(t *testing.T) {
 						}
 					}
 				}
-				check("CRCW", StaircaseRowMinimaPRAM(NewPRAM(CRCW, sh.n), a))
-				check("CREW", StaircaseRowMinimaPRAM(NewPRAM(CREW, sh.n), a))
+				check("CRCW", MustStaircaseRowMinimaPRAM(NewPRAM(CRCW, sh.n), a))
+				check("CREW", MustStaircaseRowMinimaPRAM(NewPRAM(CREW, sh.n), a))
 				v, w, f := netInputs(a)
 				bound := make([]int, sh.m)
 				for i := range bound {
 					bound[i] = marray.BoundaryOf(a, i)
 				}
 				for _, nk := range networkKinds {
-					got, _ := StaircaseRowMinimaHypercube(nk.kind, v, bound, w, f)
+					got, _ := MustStaircaseRowMinimaHypercube(nk.kind, v, bound, w, f)
 					check(nk.name, got)
 				}
 			}
@@ -143,11 +143,11 @@ func TestWorkerCountDeterminismPRAM(t *testing.T) {
 	run := func(w int) (rowMin, stairMin pramRun) {
 		mach := NewPRAM(CRCW, n)
 		mach.SetWorkers(w)
-		idx := RowMinimaPRAM(mach, monge)
+		idx := MustRowMinimaPRAM(mach, monge)
 		rowMin = pramRun{idx, mach.Time(), mach.Steps(), mach.Work()}
 		mach = NewPRAM(CRCW, n)
 		mach.SetWorkers(w)
-		idx = StaircaseRowMinimaPRAM(mach, stair)
+		idx = MustStaircaseRowMinimaPRAM(mach, stair)
 		stairMin = pramRun{idx, mach.Time(), mach.Steps(), mach.Work()}
 		return rowMin, stairMin
 	}

@@ -1,0 +1,37 @@
+package monge
+
+// This file is the public face of the typed error contract (see
+// internal/merr): every error returned by the library's error-returning
+// entry points wraps exactly one of the sentinels below, so callers
+// dispatch with errors.Is. The Must* variants of those entry points skip
+// input validation and deliver the same conditions by panicking with the
+// typed error instead; recover the panic value as an error to inspect it.
+
+import "monge/internal/merr"
+
+var (
+	// ErrNotMonge reports an input array that violates the Monge
+	// inequality a[i,j] + a[k,l] <= a[i,l] + a[k,j] (i < k, j < l).
+	ErrNotMonge = merr.ErrNotMonge
+	// ErrNotInverseMonge reports a violation of the reversed inequality.
+	ErrNotInverseMonge = merr.ErrNotInverseMonge
+	// ErrNotStaircase reports blocked entries that are not closed to the
+	// right and downward.
+	ErrNotStaircase = merr.ErrNotStaircase
+	// ErrDimensionMismatch reports negative, ragged, out-of-range, or
+	// otherwise incompatible shapes.
+	ErrDimensionMismatch = merr.ErrDimensionMismatch
+	// ErrMachineTooSmall reports a simulated machine with fewer processors
+	// than the algorithm's allocation needs.
+	ErrMachineTooSmall = merr.ErrMachineTooSmall
+	// ErrWriteConflict reports a CREW write conflict (two processors wrote
+	// one cell in one superstep).
+	ErrWriteConflict = merr.ErrWriteConflict
+	// ErrUnbalanced reports a transportation problem whose supply and
+	// demand totals differ.
+	ErrUnbalanced = merr.ErrUnbalanced
+	// ErrCanceled reports a simulation stopped by its context; the error
+	// also matches the context's own error (context.Canceled or
+	// context.DeadlineExceeded) under errors.Is.
+	ErrCanceled = merr.ErrCanceled
+)

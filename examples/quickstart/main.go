@@ -19,8 +19,14 @@ func main() {
 	})
 	fmt.Println("IsMonge:", monge.IsMonge(a))
 
-	// Sequential: Theta(m+n) row minima via SMAWK.
-	idx := monge.RowMinima(a)
+	// Sequential: Theta(m+n) row minima via SMAWK. The error-returning
+	// form screens the input with a cheap sampled Monge validator and
+	// returns typed errors (monge.ErrNotMonge etc.); MustRowMinima skips
+	// the screen for arrays that are Monge by construction.
+	idx, err := monge.RowMinima(a)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("sequential row minima (leftmost argmin per row):")
 	for i, j := range idx {
 		fmt.Printf("  row %2d -> col %2d (value %g)\n", i, j, a.At(i, j))
@@ -29,7 +35,10 @@ func main() {
 	// Parallel: the same search on a simulated n-processor CRCW PRAM
 	// (Table 1.1 of the paper: O(lg n) time).
 	mach := monge.NewPRAM(monge.CRCW, n)
-	pidx := monge.RowMinimaPRAM(mach, a)
+	pidx, err := monge.RowMinimaPRAM(mach, a)
+	if err != nil {
+		panic(err)
+	}
 	same := true
 	for i := range idx {
 		if idx[i] != pidx[i] {

@@ -38,9 +38,21 @@
 // the step barrier, never observed mid-step. Under that discipline the
 // simulated outputs and every charged counter are identical for any
 // worker count, which TestWorkerCountDeterminism pins down.
+//
+// # Faults and cancellation
+//
+// Run is the fault-aware, cancellable sibling of For: an optional Stall
+// predicate injects transient per-chunk processor stalls that the claim
+// loop detects and recovers by re-dispatching the chunk (attempts are
+// effect-free, so recompute is exact), and an optional Context aborts the
+// loop between chunks — remaining chunks are drained unexecuted so the
+// barrier releases promptly and no worker is left mid-loop. Stall
+// decisions are keyed by (chunk, attempt), never by the claiming
+// goroutine, preserving the determinism contract under injection.
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -77,17 +89,45 @@ func ChunkBounds(n int) (size, count int) {
 
 // job is one parallel loop, shared by every goroutine helping with it.
 // Chunk k covers indices [k*size, min((k+1)*size, n)); claimants take the
-// next unclaimed chunk by incrementing next.
+// next unclaimed chunk by incrementing next. The last three fields are nil
+// on the For fast path: stall injects per-chunk processor stalls, stalls
+// accumulates how many were delivered to this job, and abort (set on
+// context cancellation) makes claimants drain remaining chunks without
+// executing them, so the barrier releases promptly.
 type job struct {
-	next *int64
-	n    int
-	size int
-	body func(i int)
-	wg   *sync.WaitGroup
+	next   *int64
+	n      int
+	size   int
+	body   func(i int)
+	wg     *sync.WaitGroup
+	stall  func(chunk, attempt int) bool
+	stalls *int64
+	abort  *atomic.Bool
+}
+
+// runChunk recovers injected stalls for chunk k, then executes it.
+func (j job) runChunk(k int64, lo int) {
+	if j.stall != nil {
+		st := 0
+		for a := 0; j.stall(int(k), a); a++ {
+			st++
+		}
+		if st > 0 {
+			atomic.AddInt64(j.stalls, int64(st))
+		}
+	}
+	hi := lo + j.size
+	if hi > j.n {
+		hi = j.n
+	}
+	for i := lo; i < hi; i++ {
+		j.body(i)
+	}
 }
 
 // run claims and executes chunks until none remain. Safe to call from any
-// number of goroutines; each chunk is executed exactly once.
+// number of goroutines; each chunk is executed exactly once (or, after an
+// abort, skipped exactly once).
 func (j job) run() {
 	for {
 		k := atomic.AddInt64(j.next, 1) - 1
@@ -95,12 +135,30 @@ func (j job) run() {
 		if lo >= j.n {
 			return
 		}
-		hi := lo + j.size
-		if hi > j.n {
-			hi = j.n
+		if j.abort == nil || !j.abort.Load() {
+			j.runChunk(k, lo)
 		}
-		for i := lo; i < hi; i++ {
-			j.body(i)
+		j.wg.Done()
+	}
+}
+
+// runCtx is run for the calling goroutine of a cancellable loop: it polls
+// ctx between chunks and trips the shared abort flag on cancellation, so
+// the workers drain the remaining chunks without executing them.
+func (j job) runCtx(ctx context.Context) {
+	for {
+		k := atomic.AddInt64(j.next, 1) - 1
+		lo := int(k) * j.size
+		if lo >= j.n {
+			return
+		}
+		aborted := j.abort.Load()
+		if !aborted && ctx != nil && ctx.Err() != nil {
+			j.abort.Store(true)
+			aborted = true
+		}
+		if !aborted {
+			j.runChunk(k, lo)
 		}
 		j.wg.Done()
 	}
@@ -109,16 +167,21 @@ func (j job) run() {
 // Pool is a persistent worker pool. The zero value is not usable; create
 // pools with NewPool or share the process-wide Default pool. Workers start
 // lazily on the first parallel loop and park on the job channel between
-// steps; Close stops them (idempotently), and a closed pool restarts
-// lazily if used again, so Machine.Reset can shut the pool down without
-// poisoning later runs.
+// steps; Close stops them (idempotently) and waits for them to finish any
+// chunks already claimed, and a closed pool restarts lazily if used again,
+// so Machine.Reset can shut the pool down without poisoning later runs.
 type Pool struct {
 	workers int
 
-	// mu protects jobs: For holds the read side while publishing so that a
-	// concurrent Close (write side) can never close the channel mid-send.
+	// mu protects jobs and done: For/Run hold the read side while
+	// publishing so that a concurrent Close (write side) can never close
+	// the channel mid-send.
 	mu   sync.RWMutex
 	jobs chan job
+	// done counts the live workers of the current generation; Close waits
+	// on it so that, when Close returns, no pool goroutine is parked or
+	// mid-chunk.
+	done *sync.WaitGroup
 }
 
 // NewPool returns a pool with the given number of workers (values < 1 are
@@ -130,8 +193,9 @@ func NewPool(workers int) *Pool {
 		workers = 1
 	}
 	p := &Pool{workers: workers}
-	// Workers hold only the job channel, not *Pool, so an unreachable pool
-	// is collectable and its finalizer can release the parked goroutines.
+	// Workers hold only the job channel and the done group, not *Pool, so
+	// an unreachable pool is collectable and its finalizer can release the
+	// parked goroutines.
 	runtime.SetFinalizer(p, (*Pool).Close)
 	return p
 }
@@ -153,15 +217,21 @@ func Default() *Pool {
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-// Close stops the pool's workers. It is idempotent and safe to call
-// concurrently with For; a subsequent For restarts the workers lazily.
+// Close stops the pool's workers and waits for them to drain: any job
+// already published is completed (a loop's caller always participates, so
+// the loop finishes either way) and every worker goroutine has exited by
+// the time Close returns. It is idempotent and safe to call concurrently
+// with For/Run; a subsequent loop restarts the workers lazily. Do not call
+// Close from inside a loop body — a worker cannot wait for itself.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	if p.jobs != nil {
-		close(p.jobs)
-		p.jobs = nil
-	}
+	jobs, done := p.jobs, p.done
+	p.jobs, p.done = nil, nil
 	p.mu.Unlock()
+	if jobs != nil {
+		close(jobs)
+		done.Wait()
+	}
 }
 
 // ensure starts the workers if they are not running.
@@ -169,24 +239,56 @@ func (p *Pool) ensure() {
 	p.mu.Lock()
 	if p.jobs == nil {
 		p.jobs = make(chan job, p.workers)
+		p.done = new(sync.WaitGroup)
+		p.done.Add(p.workers)
 		for w := 0; w < p.workers; w++ {
-			go worker(p.jobs)
+			go worker(p.jobs, p.done)
 		}
 	}
 	p.mu.Unlock()
 }
 
-func worker(jobs <-chan job) {
+func worker(jobs <-chan job, done *sync.WaitGroup) {
+	defer done.Done()
 	for j := range jobs {
 		j.run()
 	}
+}
+
+// publish offers the job to up to count-1 idle workers without ever
+// blocking: if the buffer is full the workers are already saturated and
+// the caller's own claim loop keeps the loop progressing. If a concurrent
+// Close nilled the channel, the caller just does all the work itself.
+// Workers draining a stale request after the loop has finished find no
+// chunk to claim and park again immediately.
+func (p *Pool) publish(j job, count int) {
+	p.mu.RLock()
+	if p.jobs == nil {
+		p.mu.RUnlock()
+		p.ensure()
+		p.mu.RLock()
+	}
+	helpers := p.workers - 1
+	if helpers > count-1 {
+		helpers = count - 1
+	}
+publish:
+	for h := 0; h < helpers && p.jobs != nil; h++ {
+		select {
+		case p.jobs <- j:
+		default:
+			break publish
+		}
+	}
+	p.mu.RUnlock()
 }
 
 // For executes body(0..n-1) on the pool and returns the number of chunks
 // the loop was cut into (1 when it ran inline). The calling goroutine
 // always participates, so a loop completes even if every worker is busy;
 // For returns only after all iterations have completed, which is the step
-// barrier of the simulated machines.
+// barrier of the simulated machines. This is the fast path with no fault
+// or cancellation hooks; see Run for those.
 func (p *Pool) For(n int, body func(i int)) int {
 	if n <= 0 {
 		return 0
@@ -210,34 +312,67 @@ func (p *Pool) For(n int, body func(i int)) int {
 	var wg sync.WaitGroup
 	wg.Add(count)
 	j := job{next: &next, n: n, size: size, body: body, wg: &wg}
-
-	p.mu.RLock()
-	if p.jobs == nil {
-		p.mu.RUnlock()
-		p.ensure()
-		p.mu.RLock()
-	}
-	// Publish one help request per worker that could usefully join, but
-	// never block: if the buffer is full the workers are already saturated
-	// and the caller's own run() below keeps the loop progressing. If a
-	// concurrent Close nilled the channel, the caller just does all the
-	// work itself. Workers draining a stale request after the loop has
-	// finished find no chunk to claim and park again immediately.
-	helpers := p.workers - 1
-	if helpers > count-1 {
-		helpers = count - 1
-	}
-publish:
-	for h := 0; h < helpers && p.jobs != nil; h++ {
-		select {
-		case p.jobs <- j:
-		default:
-			break publish
-		}
-	}
-	p.mu.RUnlock()
-
+	p.publish(j, count)
 	j.run()
 	wg.Wait()
 	return count
+}
+
+// Loop describes one parallel loop for Run: the iteration space and body,
+// plus the optional robustness hooks the fast-path For omits.
+type Loop struct {
+	// N is the iteration count; Body runs for each i in [0, N).
+	N    int
+	Body func(i int)
+	// Ctx, when non-nil, cancels the loop between chunks: once Ctx is done
+	// no further chunk bodies start, the remaining chunks are drained
+	// unexecuted, and Run returns Ctx.Err(). Chunks already executing
+	// finish normally (they are effect-buffered machine steps).
+	Ctx context.Context
+	// Stall, when non-nil, reports whether the given chunk stalls on the
+	// given zero-based attempt; the claimant retries until it reports
+	// false, modelling detect-and-recompute recovery from transient
+	// processor faults. It must be a pure function of its arguments (plus
+	// injector seed/state) so the schedule is worker-count independent.
+	Stall func(chunk, attempt int) bool
+}
+
+// RunResult reports what a Run dispatch did.
+type RunResult struct {
+	// Chunks is the number of chunks the loop was cut into.
+	Chunks int
+	// Stalls is the number of stalled chunk attempts that were detected
+	// and re-dispatched.
+	Stalls int64
+}
+
+// Run executes the loop with fault injection and cancellation support.
+// Unlike For, Run always uses the deterministic ChunkBounds structure —
+// even inline on a single worker — so the injected fault schedule is
+// identical for any worker count. On cancellation it returns the context
+// error; the loop's effects are then partial and the caller must abandon
+// the superstep (the machines throw ErrCanceled).
+func (p *Pool) Run(l Loop) (RunResult, error) {
+	if l.N <= 0 {
+		return RunResult{}, nil
+	}
+	size, count := ChunkBounds(l.N)
+	var next, stalls int64
+	var abort atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(count)
+	j := job{
+		next: &next, n: l.N, size: size, body: l.Body, wg: &wg,
+		stall: l.Stall, stalls: &stalls, abort: &abort,
+	}
+	if p.workers > 1 && count > 1 && l.N >= serialCutoff {
+		p.publish(j, count)
+	}
+	j.runCtx(l.Ctx)
+	wg.Wait()
+	res := RunResult{Chunks: count, Stalls: atomic.LoadInt64(&stalls)}
+	if abort.Load() {
+		return res, l.Ctx.Err()
+	}
+	return res, nil
 }

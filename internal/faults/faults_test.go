@@ -1,0 +1,135 @@
+package faults
+
+import "testing"
+
+// TestDeterministicSchedule pins the determinism contract: two injectors
+// with the same seed and rate produce identical decisions for every
+// (site, step, unit, attempt) query, and a different seed produces a
+// different schedule somewhere.
+func TestDeterministicSchedule(t *testing.T) {
+	a, b := New(7, 0.3), New(7, 0.3)
+	other := New(8, 0.3)
+	sameAsOther := true
+	for step := int64(0); step < 50; step++ {
+		fa, fb := a.StallFn(step), b.StallFn(step)
+		fo := other.StallFn(step)
+		for chunk := 0; chunk < 8; chunk++ {
+			for attempt := 0; attempt < 3; attempt++ {
+				x, y := fa(chunk, attempt), fb(chunk, attempt)
+				if x != y {
+					t.Fatalf("step %d chunk %d attempt %d: same seed disagrees", step, chunk, attempt)
+				}
+				if x != fo(chunk, attempt) {
+					sameAsOther = false
+				}
+			}
+		}
+		d1, g1 := a.LinkFaults(step, int(step)%5)
+		d2, g2 := b.LinkFaults(step, int(step)%5)
+		if d1 != d2 || g1 != g2 {
+			t.Fatalf("step %d: link schedule differs for same seed", step)
+		}
+		if a.StepTimeouts(step) != b.StepTimeouts(step) {
+			t.Fatalf("step %d: timeout schedule differs for same seed", step)
+		}
+	}
+	if sameAsOther {
+		t.Fatal("seeds 7 and 8 produced identical stall schedules")
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestNilAndDisabledInjectors checks the nil receiver and rate-0 paths
+// machines rely on (no nil checks at call sites).
+func TestNilAndDisabledInjectors(t *testing.T) {
+	var nilInj *Injector
+	for _, in := range []*Injector{nilInj, New(1, 0)} {
+		if in.Enabled() {
+			t.Fatal("disabled injector reports Enabled")
+		}
+		if in.Rate() != 0 {
+			t.Fatal("disabled injector reports nonzero rate")
+		}
+		if in.StallFn(3) != nil {
+			t.Fatal("disabled injector must return a nil stall predicate (pool fast path)")
+		}
+		if d, g := in.LinkFaults(3, 0); d != 0 || g != 0 {
+			t.Fatal("disabled injector injects link faults")
+		}
+		if in.StepTimeouts(3) != 0 {
+			t.Fatal("disabled injector injects timeouts")
+		}
+		if s := (in.Stats()); s != (Stats{}) {
+			t.Fatalf("disabled injector has stats %+v", s)
+		}
+		_ = in.String()
+	}
+}
+
+// TestRateClamp checks New clamps rates into [0, MaxRate].
+func TestRateClamp(t *testing.T) {
+	if r := New(1, -0.5).Rate(); r != 0 {
+		t.Fatalf("negative rate clamped to %g, want 0", r)
+	}
+	if r := New(1, 5).Rate(); r != MaxRate {
+		t.Fatalf("excess rate clamped to %g, want %g", r, MaxRate)
+	}
+}
+
+// TestAttemptsBounded checks every retry loop terminates within
+// MaxAttempts even at the maximum rate.
+func TestAttemptsBounded(t *testing.T) {
+	in := New(3, MaxRate)
+	for step := int64(0); step < 200; step++ {
+		f := in.StallFn(step)
+		st := 0
+		for a := 0; f(0, a); a++ {
+			st++
+		}
+		if st > MaxAttempts {
+			t.Fatalf("step %d: %d stalls exceeds MaxAttempts", step, st)
+		}
+		if d, g := in.LinkFaults(step, 1); d+g > MaxAttempts {
+			t.Fatalf("step %d: %d link faults exceeds MaxAttempts", step, d+g)
+		}
+		if x := in.StepTimeouts(step); x > MaxAttempts {
+			t.Fatalf("step %d: %d timeouts exceeds MaxAttempts", step, x)
+		}
+	}
+}
+
+// TestStatsCount checks delivered faults are counted.
+func TestStatsCount(t *testing.T) {
+	in := New(5, MaxRate)
+	for step := int64(0); step < 100; step++ {
+		f := in.StallFn(step)
+		for a := 0; f(0, a); a++ {
+		}
+		in.LinkFaults(step, 0)
+		in.StepTimeouts(step)
+	}
+	s := in.Stats()
+	if s.Stalls+s.Drops+s.Garbles+s.Timeouts == 0 {
+		t.Fatalf("rate %g over 100 steps delivered no faults: %+v", MaxRate, s)
+	}
+}
+
+// TestBackoffTime pins the exponential backoff schedule and its per-retry
+// cap.
+func TestBackoffTime(t *testing.T) {
+	cases := []struct {
+		retries int
+		want    int64
+	}{
+		{0, 0}, {1, 1}, {2, 3}, {3, 7}, {4, 15}, {10, 1023}, {11, 2047},
+		// After the 2^10 per-retry cap the growth is linear.
+		{12, 2047 + 1024}, {14, 2047 + 3*1024},
+	}
+	for _, c := range cases {
+		if got := BackoffTime(c.retries); got != c.want {
+			t.Fatalf("BackoffTime(%d) = %d, want %d", c.retries, got, c.want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package hcmonge
 
 import (
 	hc "monge/internal/hypercube"
+	"monge/internal/merr"
 )
 
 // EntryFunc evaluates one array entry from a row input and a column input,
@@ -15,6 +16,16 @@ func MachineFor(kind hc.Kind, m, n int) *hc.Machine {
 	return hc.New(kind, dimFor(m, n))
 }
 
+// checkDim throws merr.ErrMachineTooSmall when mach cannot host an m x n
+// search (it has fewer processors than MachineFor would allocate).
+func checkDim(mach *hc.Machine, m, n int) {
+	if need := dimFor(m, n); mach.Dim() < need {
+		merr.Throwf(merr.ErrMachineTooSmall,
+			"hcmonge: %d x %d search needs a %d-dimensional machine, have %d dimensions",
+			m, n, need, mach.Dim())
+	}
+}
+
 // RowMinima computes, for each row i of the m x n Monge array
 // a[i,j] = f(v[i], w[j]), the column index of its leftmost minimum, on a
 // freshly sized machine of the given kind. It returns the answers and the
@@ -25,13 +36,28 @@ func MachineFor(kind hc.Kind, m, n int) *hc.Machine {
 // paper's statement comes from processor reduction, which this simulation
 // replaces by machine sizing; see the package comment).
 func RowMinima[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W]) ([]int, *hc.Machine) {
-	return search(kind, v, w, f, false, false)
+	mach := MachineFor(kind, len(v), len(w))
+	return RowMinimaOn(mach, v, w, f), mach
+}
+
+// RowMinimaOn is RowMinima on a caller-provided machine — the form that
+// lets the caller attach a context, fault injector, sink, or private pool
+// before the run. The machine must be at least MachineFor-sized for the
+// inputs (merr.ErrMachineTooSmall is thrown otherwise).
+func RowMinimaOn[V, W any](mach *hc.Machine, v []V, w []W, f EntryFunc[V, W]) []int {
+	return searchOn(mach, v, w, f, false, false)
 }
 
 // RowMaxima computes leftmost row maxima of the m x n INVERSE-Monge array
 // a[i,j] = f(v[i], w[j]) (negation reduces to RowMinima).
 func RowMaxima[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W]) ([]int, *hc.Machine) {
-	return search(kind, v, w, f, true, false)
+	mach := MachineFor(kind, len(v), len(w))
+	return RowMaximaOn(mach, v, w, f), mach
+}
+
+// RowMaximaOn is RowMaxima on a caller-provided machine.
+func RowMaximaOn[V, W any](mach *hc.Machine, v []V, w []W, f EntryFunc[V, W]) []int {
+	return searchOn(mach, v, w, f, true, false)
 }
 
 // MongeRowMaxima computes leftmost row maxima of a MONGE array (the
@@ -40,34 +66,39 @@ func RowMaxima[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W]) ([]int, 
 // rightmost tie-breaking, which corresponds to leftmost in the original
 // order. The returned indices are in the original column order.
 func MongeRowMaxima[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W]) ([]int, *hc.Machine) {
+	mach := MachineFor(kind, len(v), len(w))
+	return MongeRowMaximaOn(mach, v, w, f), mach
+}
+
+// MongeRowMaximaOn is MongeRowMaxima on a caller-provided machine.
+func MongeRowMaximaOn[V, W any](mach *hc.Machine, v []V, w []W, f EntryFunc[V, W]) []int {
 	n := len(w)
 	rev := make([]W, n)
 	for j := range rev {
 		rev[j] = w[n-1-j]
 	}
 	neg := func(vi V, wj W) float64 { return -f(vi, wj) }
-	idx, mach := searchVW(kind, v, rev, neg, true, func(j int) int { return n - 1 - j })
-	return idx, mach
+	return searchVW(mach, v, rev, neg, true, func(j int) int { return n - 1 - j })
 }
 
-// search negates when maxima is set and runs the generic driver.
-func search[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W], maxima, tieRight bool) ([]int, *hc.Machine) {
+// searchOn negates when maxima is set and runs the generic driver.
+func searchOn[V, W any](mach *hc.Machine, v []V, w []W, f EntryFunc[V, W], maxima, tieRight bool) []int {
 	g := f
 	if maxima {
 		g = func(vi V, wj W) float64 { return -f(vi, wj) }
 	}
-	return searchVW(kind, v, w, g, tieRight, func(j int) int { return j })
+	return searchVW(mach, v, w, g, tieRight, func(j int) int { return j })
 }
 
 // searchVW places the inputs in the paper's distributed model (v[i] and
 // w[i] in processor i's memory), runs the recursion, and extracts the
 // answers. colID maps local column positions to reported indices.
-func searchVW[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W], tieRight bool, colID func(j int) int) ([]int, *hc.Machine) {
+func searchVW[V, W any](mach *hc.Machine, v []V, w []W, f EntryFunc[V, W], tieRight bool, colID func(j int) int) []int {
 	m, n := len(v), len(w)
-	mach := MachineFor(kind, m, n)
+	checkDim(mach, m, n)
 	out := make([]int, m)
 	if m == 0 || n == 0 {
-		return out, mach
+		return out
 	}
 	vvec := hc.NewVec(mach, func(p int) V {
 		if p < m {
@@ -88,5 +119,5 @@ func searchVW[V, W any](kind hc.Kind, v []V, w []W, f EntryFunc[V, W], tieRight 
 	for i := 0; i < m; i++ {
 		out[i] = snap[i].col
 	}
-	return out, mach
+	return out
 }

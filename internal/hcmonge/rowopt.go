@@ -26,10 +26,10 @@
 package hcmonge
 
 import (
-	"fmt"
 	"math"
 
 	hc "monge/internal/hypercube"
+	"monge/internal/merr"
 )
 
 // res is a row answer: the optimal value, the global column identity, and
@@ -147,7 +147,8 @@ func (pr *problem[V, W]) columnSplit(mach *hc.Machine, mr, nc, mhat int, vvec *h
 		lg++
 	}
 	if nb*mhat > mach.Size() {
-		panic("hcmonge: machine too small for column split")
+		merr.Throwf(merr.ErrMachineTooSmall,
+			"hcmonge: column split needs %d processors, have %d", nb*mhat, mach.Size())
 	}
 	// Replicate v into every block's processor range.
 	vrep := hc.NewVec(mach, func(p int) V { return vvec.Get(p) })
@@ -275,8 +276,9 @@ func (pr *problem[V, W]) rowSample(mach *hc.Machine, mr, nc int, vvec *hc.Vec[V]
 		}
 	}
 	if off > mach.Size() {
-		panic(fmt.Sprintf("hcmonge: machine too small for gap allocation: need %d, have %d (mr=%d nc=%d u=%d s=%d gaps=%d)",
-			off, mach.Size(), mr, nc, u, s, len(gaps)))
+		merr.Throwf(merr.ErrMachineTooSmall,
+			"hcmonge: gap allocation needs %d processors, have %d (mr=%d nc=%d u=%d s=%d gaps=%d)",
+			off, mach.Size(), mr, nc, u, s, len(gaps))
 	}
 	// Offset computation is a parallel prefix over the gap sizes; charge
 	// the scan that a full implementation would run.

@@ -1,10 +1,10 @@
 package hcmonge
 
 import (
-	"fmt"
 	"math"
 
 	hc "monge/internal/hypercube"
+	"monge/internal/merr"
 )
 
 // Theorem 3.3: row minima of staircase-Monge arrays on the hypercube (and,
@@ -56,14 +56,23 @@ type stairJob struct {
 // returns it for counter inspection (Theorem 3.3 / Table 1.2, "hypercube,
 // etc." row).
 func StaircaseRowMinima[V, W any](kind hc.Kind, v []V, bound []int, w []W, f EntryFunc[V, W]) ([]int, *hc.Machine) {
+	mach := MachineFor(kind, len(v), len(w))
+	return StaircaseRowMinimaOn(mach, v, bound, w, f), mach
+}
+
+// StaircaseRowMinimaOn is StaircaseRowMinima on a caller-provided machine
+// (at least MachineFor-sized; merr.ErrMachineTooSmall is thrown
+// otherwise), the form that lets the caller attach a context or fault
+// injector before the run.
+func StaircaseRowMinimaOn[V, W any](mach *hc.Machine, v []V, bound []int, w []W, f EntryFunc[V, W]) []int {
 	m, n := len(v), len(w)
-	mach := MachineFor(kind, m, n)
+	checkDim(mach, m, n)
 	out := make([]int, m)
 	if m == 0 || n == 0 {
 		for i := range out {
 			out[i] = -1
 		}
-		return out, mach
+		return out
 	}
 	vvec := hc.NewVec(mach, func(p int) stairV[V] {
 		if p < m {
@@ -90,7 +99,7 @@ func StaircaseRowMinima[V, W any](kind hc.Kind, v []V, bound []int, w []W, f Ent
 	for i := 0; i < m; i++ {
 		out[i] = snap[i].col
 	}
-	return out, mach
+	return out
 }
 
 func blockedRes() res { return res{val: math.Inf(1), col: -1, loc: math.MaxInt32} }
@@ -306,7 +315,8 @@ func (pr *stairProblem[V, W]) stageAscending(mach *hc.Machine, jobs []stairJob, 
 		off += jobs[i].size
 	}
 	if off > mach.Size() {
-		panic(fmt.Sprintf("hcmonge: staging overflow: need %d, have %d", off, mach.Size()))
+		merr.Throwf(merr.ErrMachineTooSmall,
+			"hcmonge: staircase staging needs %d processors, have %d", off, mach.Size())
 	}
 	// Offsets are a prefix scan over the job sizes; charge it.
 	scratch := hc.NewVec(mach, func(p int) int {

@@ -3,6 +3,7 @@ package hcmonge
 import (
 	hc "monge/internal/hypercube"
 	"monge/internal/marray"
+	"monge/internal/merr"
 )
 
 // Theorem 3.4: tube maxima of a p x q x r Monge-composite array on an
@@ -15,28 +16,60 @@ import (
 // memories; the entry function then evaluates in O(1) as the model
 // requires).
 
+// TubeMachineFor returns a machine of the given kind sized for the tube
+// search on composite c: one MachineFor-sized subcube per slice of the
+// first dimension.
+func TubeMachineFor(kind hc.Kind, c marray.Composite) *hc.Machine {
+	subDim, lgP := tubeDims(c)
+	return hc.New(kind, subDim+lgP)
+}
+
+func tubeDims(c marray.Composite) (subDim, lgP int) {
+	subDim = dimFor(c.R(), c.Q())
+	for 1<<lgP < c.P() {
+		lgP++
+	}
+	return subDim, lgP
+}
+
 // TubeMaxima computes, for every (i, k), the smallest middle coordinate j
 // maximising c[i,j,k] = d[i,j] + e[j,k] (D, E Monge), plus the values, on
 // simulated networks of the given kind. Returns the parent machine for
 // counter inspection.
 func TubeMaxima(kind hc.Kind, c marray.Composite) (argJ [][]int, vals [][]float64, mach *hc.Machine) {
-	return tubeSearch(kind, c, true)
+	mach = TubeMachineFor(kind, c)
+	argJ, vals = TubeMaximaOn(mach, c)
+	return argJ, vals, mach
+}
+
+// TubeMaximaOn is TubeMaxima on a caller-provided machine (at least
+// TubeMachineFor-sized; merr.ErrMachineTooSmall is thrown otherwise), the
+// form that lets the caller attach a context or fault injector first.
+func TubeMaximaOn(mach *hc.Machine, c marray.Composite) ([][]int, [][]float64) {
+	return tubeSearchOn(mach, c, true)
 }
 
 // TubeMinima is the minimisation analogue for composites with
 // inverse-Monge factors (the shortest-path orientation).
 func TubeMinima(kind hc.Kind, c marray.Composite) (argJ [][]int, vals [][]float64, mach *hc.Machine) {
-	return tubeSearch(kind, c, false)
+	mach = TubeMachineFor(kind, c)
+	argJ, vals = TubeMinimaOn(mach, c)
+	return argJ, vals, mach
 }
 
-func tubeSearch(kind hc.Kind, c marray.Composite, maxima bool) ([][]int, [][]float64, *hc.Machine) {
+// TubeMinimaOn is TubeMinima on a caller-provided machine.
+func TubeMinimaOn(mach *hc.Machine, c marray.Composite) ([][]int, [][]float64) {
+	return tubeSearchOn(mach, c, false)
+}
+
+func tubeSearchOn(parent *hc.Machine, c marray.Composite, maxima bool) ([][]int, [][]float64) {
 	p, q, r := c.P(), c.Q(), c.R()
-	subDim := dimFor(r, q)
-	lgP := 0
-	for 1<<lgP < p {
-		lgP++
+	subDim, lgP := tubeDims(c)
+	if parent.Dim() < subDim+lgP {
+		merr.Throwf(merr.ErrMachineTooSmall,
+			"hcmonge: tube search needs a %d-dimensional machine, have %d dimensions",
+			subDim+lgP, parent.Dim())
 	}
-	parent := hc.New(kind, subDim+lgP)
 	argJ := make([][]int, p)
 	vals := make([][]float64, p)
 	dims := make([]int, p)
@@ -73,5 +106,5 @@ func tubeSearch(kind hc.Kind, c marray.Composite, maxima bool) ([][]int, [][]flo
 			vals[i][k] = c.At(i, snap[k].col, k)
 		}
 	})
-	return argJ, vals, parent
+	return argJ, vals
 }

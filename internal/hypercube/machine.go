@@ -22,12 +22,30 @@
 // and the CCC charges the cycle rotation that brings the cube edge into
 // position. Time counters therefore reproduce the "hypercube, etc." rows
 // of Tables 1.1-1.3.
+//
+// # Robustness
+//
+// SetContext attaches a context polled at every charged step: cancellation
+// throws merr.ErrCanceled, recoverable at the public error-returning APIs,
+// and the worker pool drains without executing further chunks. SetFaults
+// attaches a faults.Injector (the environment-configured faults.Global by
+// default): local steps suffer recoverable chunk stalls and superstep
+// timeouts, and every Exchange/CondSwap suffers per-link message drops and
+// garbles that the simulated protocol detects (receiver timeout / checksum)
+// and repairs by retransmission with exponential backoff. Recoveries are
+// charged to the time and communication counters — the step completes when
+// its slowest link completes — while the delivered data is exact, so all
+// algorithms return identical index vectors under any fault schedule.
+// Children created by Subcubes and ParallelDo inherit both.
 package hypercube
 
 import (
+	"context"
 	"fmt"
 
 	"monge/internal/exec"
+	"monge/internal/faults"
+	"monge/internal/merr"
 )
 
 // Kind selects the interconnection network being simulated.
@@ -81,6 +99,14 @@ type Machine struct {
 	pool    *exec.Pool
 	ownPool bool
 	sink    exec.Sink
+
+	// stepID numbers the charged steps for the fault injector's hash keys.
+	stepID int64
+	// ctx, when non-nil, is polled at step boundaries; cancellation throws
+	// merr.ErrCanceled. faults, when enabled, injects stalls, timeouts, and
+	// link faults. Children inherit both.
+	ctx    context.Context
+	faults *faults.Injector
 }
 
 // New returns a machine of the given kind with 2^d processors, running on
@@ -88,9 +114,12 @@ type Machine struct {
 // instrumentation sink if one is installed.
 func New(kind Kind, d int) *Machine {
 	if d < 0 {
-		panic("hypercube: negative dimension")
+		merr.Throwf(merr.ErrDimensionMismatch, "hypercube: negative dimension %d", d)
 	}
-	return &Machine{kind: kind, d: d, n: 1 << d, pool: exec.Default(), sink: exec.GlobalSink()}
+	return &Machine{
+		kind: kind, d: d, n: 1 << d,
+		pool: exec.Default(), sink: exec.GlobalSink(), faults: faults.Global(),
+	}
 }
 
 // child returns a machine for a recursive subproblem: the given kind and
@@ -100,6 +129,8 @@ func (m *Machine) child(kind Kind, d int) *Machine {
 	sub := New(kind, d)
 	sub.pool = m.pool
 	sub.sink = m.sink
+	sub.ctx = m.ctx
+	sub.faults = m.faults
 	return sub
 }
 
@@ -122,6 +153,83 @@ func (m *Machine) Workers() int { return m.pool.Workers() }
 // SetSink attaches an instrumentation sink receiving one record per
 // charged step (nil detaches). Subcubes and ParallelDo children inherit it.
 func (m *Machine) SetSink(s exec.Sink) { m.sink = s }
+
+// SetContext attaches a context polled at every charged step: once it is
+// cancelled the next step throws merr.ErrCanceled (also matching the
+// context's own error), which the public error-returning APIs recover. Nil
+// detaches. Subcubes and ParallelDo children inherit it.
+func (m *Machine) SetContext(ctx context.Context) { m.ctx = ctx }
+
+// Context returns the attached context (nil when none).
+func (m *Machine) Context() context.Context { return m.ctx }
+
+// SetFaults attaches a fault injector (nil disables injection). Machines
+// start with the environment-configured faults.Global injector; children
+// inherit the parent's.
+func (m *Machine) SetFaults(in *faults.Injector) { m.faults = in }
+
+// Faults returns the attached fault injector (nil when none).
+func (m *Machine) Faults() *faults.Injector { return m.faults }
+
+// checkCtx throws merr.ErrCanceled if the attached context is done.
+func (m *Machine) checkCtx() {
+	if m.ctx != nil {
+		if cause := m.ctx.Err(); cause != nil {
+			merr.Throw(merr.Canceled(cause))
+		}
+	}
+}
+
+// dispatch runs one charged per-processor loop, taking the plain fast path
+// when no context or injector is attached and the cancellable, stall-aware
+// pool path otherwise. Stall recoveries re-execute one chunk each and are
+// charged accordingly.
+func (m *Machine) dispatch(n int, body func(p int)) int {
+	if m.ctx == nil && !m.faults.Enabled() {
+		return m.pool.For(n, body)
+	}
+	res, err := m.pool.Run(exec.Loop{
+		N: n, Body: body, Ctx: m.ctx, Stall: m.faults.StallFn(m.stepID),
+	})
+	if err != nil {
+		merr.Throw(merr.Canceled(err))
+	}
+	if res.Stalls > 0 {
+		size, _ := exec.ChunkBounds(n)
+		if size > n {
+			size = n
+		}
+		m.time += res.Stalls
+		m.local += int64(size) * res.Stalls
+	}
+	return res.Chunks
+}
+
+// linkFaultCharge simulates the fault-repair protocol of one communication
+// step: for every processor's link message the injector decides how many
+// deliveries are dropped (receiver timeout) or garbled (checksum failure)
+// before the clean one; each failure is retransmitted, charged as extra
+// communication volume, and the step's completion is delayed by the
+// exponential backoff of its worst link. The delivered values are exact,
+// so only the counters move.
+func (m *Machine) linkFaultCharge() {
+	if !m.faults.Enabled() {
+		return
+	}
+	var extra int64
+	maxRetry := 0
+	for p := 0; p < m.n; p++ {
+		drops, garbles := m.faults.LinkFaults(m.stepID, p)
+		if r := drops + garbles; r > 0 {
+			extra += int64(r)
+			if r > maxRetry {
+				maxRetry = r
+			}
+		}
+	}
+	m.comm += extra
+	m.time += faults.BackoffTime(maxRetry)
+}
 
 // record emits one instrumentation record if a sink is attached.
 func (m *Machine) record(op string, n, cost, chunks int) {
@@ -169,9 +277,15 @@ func (m *Machine) Local(cost int, body func(p int)) {
 	if cost < 1 {
 		cost = 1
 	}
+	m.checkCtx()
+	m.stepID++
 	m.time += int64(cost)
 	m.local += int64(cost) * int64(m.n)
-	chunks := m.pool.For(m.n, body)
+	chunks := m.dispatch(m.n, body)
+	if t := m.faults.StepTimeouts(m.stepID); t > 0 {
+		m.time += int64(t) * int64(cost)
+		m.local += int64(t) * int64(cost) * int64(m.n)
+	}
 	m.record("local", m.n, cost, chunks)
 }
 
@@ -179,8 +293,11 @@ func (m *Machine) Local(cost int, body func(p int)) {
 // network's emulation model and returns nothing; the caller moves the data.
 func (m *Machine) exchangeCharge(dim int) {
 	if dim < 0 || dim >= m.d {
-		panic(fmt.Sprintf("hypercube: exchange on dimension %d of a %d-cube", dim, m.d))
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"hypercube: exchange on dimension %d of a %d-cube", dim, m.d)
 	}
+	m.checkCtx()
+	m.stepID++
 	switch m.kind {
 	case Cube:
 		m.time++
@@ -204,6 +321,7 @@ func (m *Machine) exchangeCharge(dim int) {
 		}
 	}
 	m.comm += int64(m.n)
+	m.linkFaultCharge()
 }
 
 // Subcubes partitions the machine into 2^k complete sub-hypercubes of
@@ -215,7 +333,7 @@ func (m *Machine) exchangeCharge(dim int) {
 // subproblems be assigned to complete sub-hypercubes (Theorem 3.2).
 func (m *Machine) Subcubes(k int, body func(c int, sub *Machine)) {
 	if k < 0 || k > m.d {
-		panic(fmt.Sprintf("hypercube: Subcubes(%d) of a %d-cube", k, m.d))
+		merr.Throwf(merr.ErrDimensionMismatch, "hypercube: Subcubes(%d) of a %d-cube", k, m.d)
 	}
 	var maxTime int64
 	var sumComm, sumLocal int64
@@ -297,7 +415,7 @@ func Exchange[T any](m *Machine, dim int, v *Vec[T]) *Vec[T] {
 	m.exchangeCharge(dim)
 	out := &Vec[T]{m: m, vals: make([]T, m.n)}
 	mask := 1 << dim
-	chunks := m.pool.For(m.n, func(p int) {
+	chunks := m.dispatch(m.n, func(p int) {
 		out.vals[p] = v.vals[p^mask]
 	})
 	m.record("exchange", m.n, 1, chunks)
@@ -312,7 +430,7 @@ func CondSwap[T any](m *Machine, dim int, v *Vec[T], keep func(p int, mine, thei
 	m.exchangeCharge(dim)
 	mask := 1 << dim
 	next := make([]T, m.n)
-	chunks := m.pool.For(m.n, func(p int) {
+	chunks := m.dispatch(m.n, func(p int) {
 		next[p] = keep(p, v.vals[p], v.vals[p^mask])
 	})
 	m.record("exchange", m.n, 1, chunks)

@@ -70,6 +70,7 @@ func TestShuffleEmulationCharges(t *testing.T) {
 	// hypercube.
 	run := func(kind Kind) int64 {
 		m := New(kind, 6)
+		m.SetFaults(nil) // this test pins clean charges
 		v := NewVec(m, func(p int) int { return p })
 		for k := 0; k < 6; k++ {
 			v = Exchange(m, k, v)
@@ -90,6 +91,7 @@ func TestShuffleEmulationCharges(t *testing.T) {
 
 func TestShuffleNonNormalPaysMore(t *testing.T) {
 	m := New(Shuffle, 6)
+	m.SetFaults(nil) // this test pins clean charges
 	v := NewVec(m, func(p int) int { return p })
 	v = Exchange(m, 0, v)
 	t0 := m.Time()

@@ -1,6 +1,10 @@
 package hypercube
 
-import "fmt"
+import (
+	"fmt"
+
+	"monge/internal/merr"
+)
 
 // This file provides the normal-algorithm building blocks of [LLS89] used
 // by Section 3 of the paper: parallel prefix (plain, exclusive, and
@@ -187,7 +191,9 @@ func routeBits[T any](m *Machine, items *Vec[Opt[routeItem[T]]], ascending bool)
 			in := ex.Get(p)
 			if in.Ok && in.Val.dst&bit == p&bit {
 				if mine.Ok {
-					panic(fmt.Sprintf("hypercube: routing collision at processor %d, dim %d", p, k))
+					// Invariant violation on a worker goroutine: must stay a
+					// panic (merr.Throw is caller-goroutine only).
+					panic(fmt.Sprintf("monge: hypercube: routing collision at processor %d, dim %d", p, k))
 				}
 				mine = in
 			}
@@ -196,7 +202,7 @@ func routeBits[T any](m *Machine, items *Vec[Opt[routeItem[T]]], ascending bool)
 	}
 	m.pool.For(m.n, func(p int) {
 		if it := cur.Get(p); it.Ok && it.Val.dst != p {
-			panic(fmt.Sprintf("hypercube: item for %d stranded at %d", it.Val.dst, p))
+			panic(fmt.Sprintf("monge: hypercube: item for %d stranded at %d", it.Val.dst, p))
 		}
 	})
 	return cur
@@ -253,7 +259,8 @@ func Send[T any](m *Machine, has func(p int) bool, val func(p int) T, dst func(p
 		}
 		d := dst(p)
 		if d < 0 || d >= m.n {
-			panic(fmt.Sprintf("hypercube: destination %d out of range", d))
+			merr.Throwf(merr.ErrDimensionMismatch,
+				"hypercube: destination %d out of range for %d processors", d, m.n)
 		}
 		return Some(routeItem[T]{val: val(p), dst: d})
 	})

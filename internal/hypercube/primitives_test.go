@@ -217,6 +217,7 @@ func TestMonotoneRead(t *testing.T) {
 func TestMonotoneReadLogSteps(t *testing.T) {
 	stepsFor := func(d int) int64 {
 		m := NewCube(d)
+		m.SetFaults(nil) // this test pins clean charges
 		src := NewVec(m, func(p int) int { return p })
 		idx := NewVec(m, func(p int) int { return p / 2 })
 		MonotoneRead(m, src, idx)
@@ -252,6 +253,7 @@ func TestBitonicSort(t *testing.T) {
 
 func TestBitonicSortStepCount(t *testing.T) {
 	m := NewCube(6)
+	m.SetFaults(nil) // this test pins clean charges
 	v := NewVec(m, func(p int) int { return -p })
 	BitonicSort(m, v, func(a, b int) bool { return a < b })
 	if m.Time() != 6*7/2 {

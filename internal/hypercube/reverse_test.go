@@ -8,6 +8,7 @@ import (
 func TestReverse(t *testing.T) {
 	for d := 0; d <= 8; d++ {
 		m := NewCube(d)
+		m.SetFaults(nil) // this test pins clean charges
 		v := NewVec(m, func(p int) int { return p * 3 })
 		out := Reverse(m, v)
 		n := m.Size()

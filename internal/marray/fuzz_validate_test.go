@@ -1,0 +1,113 @@
+package marray
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"monge/internal/merr"
+)
+
+// bruteMongeByDefinition checks the quadruple-inequality definition
+// directly: a[i,j] + a[k,l] <= a[i,l] + a[k,j] for all i < k, j < l.
+// O(m^2 n^2), exact arithmetic on integer-valued inputs.
+func bruteMongeByDefinition(a Matrix) bool {
+	m, n := a.Rows(), a.Cols()
+	for i := 0; i < m; i++ {
+		for k := i + 1; k < m; k++ {
+			for j := 0; j < n; j++ {
+				for l := j + 1; l < n; l++ {
+					if a.At(i, j)+a.At(k, l) > a.At(i, l)+a.At(k, j) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// FuzzValidatorAgreesWithDefinition fuzzes the boundary validators
+// against the quadruple-inequality definition on integer-valued arrays
+// (exact float64 arithmetic, so the adjacent-minor characterization the
+// full validator uses must agree with the definition exactly):
+//
+//   - CheckMonge accepts iff the definition holds;
+//   - CheckMongeSampled never rejects a true Monge array (it is a
+//     screen: accepting proves nothing, rejecting must be sound);
+//   - a corrupted array is rejected by the full validator with the typed
+//     ErrNotMonge sentinel.
+func FuzzValidatorAgreesWithDefinition(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(5), uint8(0), false)
+	f.Add(int64(2), uint8(2), uint8(2), uint8(3), true)
+	f.Add(int64(99), uint8(13), uint8(7), uint8(200), true)
+	f.Fuzz(func(t *testing.T, seed int64, m8, n8 uint8, corrupt uint8, bigSpread bool) {
+		m := 2 + int(m8%14)
+		n := 2 + int(n8%14)
+		spread := 3
+		if bigSpread {
+			spread = 60
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := RandomMongeInt(rng, m, n, spread)
+
+		if corrupt%4 != 0 {
+			// Raise one interior-minor corner enough to break its minor:
+			// the array is then non-Monge by definition.
+			i := int(corrupt) % (m - 1)
+			j := int(corrupt>>4) % (n - 1)
+			a.Set(i, j, a.At(i, j)+1e6)
+		}
+
+		def := bruteMongeByDefinition(a)
+		err := CheckMonge(a)
+		if def && err != nil {
+			t.Fatalf("definition holds but CheckMonge rejects: %v", err)
+		}
+		if !def {
+			if err == nil {
+				t.Fatal("definition violated but CheckMonge accepts")
+			}
+			if !errors.Is(err, merr.ErrNotMonge) {
+				t.Fatalf("CheckMonge error %v must match ErrNotMonge", err)
+			}
+		}
+		if def {
+			if serr := CheckMongeSampled(a); serr != nil {
+				t.Fatalf("sampled validator rejected a true Monge array: %v", serr)
+			}
+		}
+
+		// The inverse validators must agree on the negated array: negation
+		// maps Monge to inverse-Monge exactly.
+		neg := Negate(a)
+		if def != (CheckInverseMonge(neg) == nil) {
+			t.Fatal("CheckInverseMonge(−a) disagrees with CheckMonge(a)")
+		}
+		if def {
+			if serr := CheckInverseMongeSampled(neg); serr != nil {
+				t.Fatalf("sampled inverse validator rejected a true inverse-Monge array: %v", serr)
+			}
+		}
+	})
+}
+
+// FuzzStaircaseValidatorSound fuzzes the staircase screen: it must never
+// reject an array drawn from the staircase-Monge generator, and the
+// blocked pattern it accepts must be a genuine staircase.
+func FuzzStaircaseValidatorSound(f *testing.F) {
+	f.Add(int64(3), uint8(6), uint8(6))
+	f.Add(int64(17), uint8(2), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, m8, n8 uint8) {
+		m := 2 + int(m8%14)
+		n := 2 + int(n8%14)
+		rng := rand.New(rand.NewSource(seed))
+		a := RandomStaircaseMongeInt(rng, m, n, 5)
+		if err := CheckStaircaseMonge(a); err != nil {
+			t.Fatalf("full staircase screen rejected a generated staircase-Monge array: %v", err)
+		}
+		if err := CheckStaircaseMongeSampled(a); err != nil {
+			t.Fatalf("sampled staircase screen rejected a generated staircase-Monge array: %v", err)
+		}
+	})
+}

@@ -21,8 +21,9 @@
 package marray
 
 import (
-	"fmt"
 	"math"
+
+	"monge/internal/merr"
 )
 
 // Inf is the sentinel used for blocked entries of staircase arrays.
@@ -68,7 +69,7 @@ type Dense struct {
 // NewDense returns an m x n dense matrix with all entries zero.
 func NewDense(m, n int) *Dense {
 	if m < 0 || n < 0 {
-		panic(fmt.Sprintf("marray: NewDense(%d, %d): negative dimension", m, n))
+		merr.Throwf(merr.ErrDimensionMismatch, "marray: NewDense(%d, %d): negative dimension", m, n)
 	}
 	return &Dense{m: m, n: n, data: make([]float64, m*n)}
 }
@@ -83,7 +84,7 @@ func FromRows(rows [][]float64) *Dense {
 	d := NewDense(m, n)
 	for i, r := range rows {
 		if len(r) != n {
-			panic(fmt.Sprintf("marray: FromRows: row %d has length %d, want %d", i, len(r), n))
+			merr.Throwf(merr.ErrDimensionMismatch, "marray: FromRows: row %d has length %d, want %d", i, len(r), n)
 		}
 		copy(d.data[i*n:(i+1)*n], r)
 	}
@@ -206,8 +207,8 @@ func (s Sub) At(i, j int) float64 { return s.A.At(s.I0+i, s.J0+j) }
 // Any contiguous window of a Monge array is Monge.
 func Window(a Matrix, i0, j0, m, n int) Matrix {
 	if i0 < 0 || j0 < 0 || m < 0 || n < 0 || i0+m > a.Rows() || j0+n > a.Cols() {
-		panic(fmt.Sprintf("marray: Window(%d,%d,%d,%d) out of range for %dx%d matrix",
-			i0, j0, m, n, a.Rows(), a.Cols()))
+		merr.Throwf(merr.ErrDimensionMismatch, "marray: Window(%d,%d,%d,%d) out of range for %dx%d matrix",
+			i0, j0, m, n, a.Rows(), a.Cols())
 	}
 	return Sub{A: a, I0: i0, J0: j0, M: m, N: n}
 }
@@ -237,7 +238,7 @@ func ColsOf(a Matrix, cols []int) Matrix {
 // (i*s)-th row"). stride must be positive.
 func SampleRows(a Matrix, stride int) Matrix {
 	if stride <= 0 {
-		panic("marray: SampleRows: stride must be positive")
+		merr.Throwf(merr.ErrDimensionMismatch, "marray: SampleRows: stride %d must be positive", stride)
 	}
 	m := a.Rows() / stride
 	return Func{M: m, N: a.Cols(), F: func(i, j int) float64 {
@@ -319,8 +320,8 @@ type Composite struct {
 // NewComposite validates dimensions and returns the composite view.
 func NewComposite(d, e Matrix) Composite {
 	if d.Cols() != e.Rows() {
-		panic(fmt.Sprintf("marray: NewComposite: inner dimensions %d and %d differ",
-			d.Cols(), e.Rows()))
+		merr.Throwf(merr.ErrDimensionMismatch, "marray: NewComposite: inner dimensions %d and %d differ",
+			d.Cols(), e.Rows())
 	}
 	return Composite{D: d, E: e}
 }

@@ -1,0 +1,119 @@
+// Package merr defines the typed error vocabulary of the repository and
+// the panic-based transport that carries those errors out of the simulated
+// machines.
+//
+// # Why panic transport
+//
+// The simulators execute algorithm code through deeply nested callbacks
+// (supersteps, ParallelDo branches, recursive subcube solvers) whose
+// signatures carry no error returns — exactly like the idealized machines
+// of the paper, where nothing fails. Threading an error value through
+// every superstep body would contaminate all of them for conditions that
+// occur only at API boundaries (bad input) or on explicit cancellation.
+// Instead, failure sites call Throw, which panics with a *Failure wrapping
+// a typed error, and the public error-returning entry points recover it
+// with `defer merr.Catch(&err)`. Panics that are not *Failure — genuine
+// bugs — propagate unchanged.
+//
+// # Error taxonomy
+//
+// The sentinels below are the stable, errors.Is-matchable contract:
+// structural violations (ErrNotMonge, ErrNotInverseMonge, ErrNotStaircase),
+// shape errors (ErrDimensionMismatch), capacity errors (ErrMachineTooSmall),
+// model violations (ErrWriteConflict), problem-specific preconditions
+// (ErrUnbalanced), and cooperative cancellation (ErrCanceled, which also
+// matches the context error that triggered it). Wrapped details follow the
+// repository-wide `monge: <pkg>: <condition>` message format; internal
+// invariant violations that survive as panics use the same format.
+package merr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The typed error set. Every error produced by Errorf wraps exactly one of
+// these, so callers dispatch with errors.Is.
+var (
+	// ErrNotMonge reports an input that violates the Monge inequality
+	// a[i,j] + a[k,l] <= a[i,l] + a[k,j] (i < k, j < l).
+	ErrNotMonge = errors.New("monge: array is not Monge")
+	// ErrNotInverseMonge reports a violation of the reversed inequality.
+	ErrNotInverseMonge = errors.New("monge: array is not inverse-Monge")
+	// ErrNotStaircase reports +Inf entries that are not closed to the right
+	// and downward (the boundary function increases somewhere).
+	ErrNotStaircase = errors.New("monge: blocked entries are not a staircase")
+	// ErrDimensionMismatch reports negative, ragged, out-of-range, or
+	// otherwise incompatible shapes.
+	ErrDimensionMismatch = errors.New("monge: dimension mismatch")
+	// ErrMachineTooSmall reports a simulated machine with fewer processors
+	// than the algorithm's allocation needs.
+	ErrMachineTooSmall = errors.New("monge: machine too small")
+	// ErrWriteConflict reports a CREW write conflict (two processors wrote
+	// one cell in one superstep).
+	ErrWriteConflict = errors.New("monge: CREW write conflict")
+	// ErrUnbalanced reports a transportation problem whose supply and
+	// demand totals differ.
+	ErrUnbalanced = errors.New("monge: unbalanced transportation problem")
+	// ErrCanceled reports a simulation stopped by its context. Errors
+	// produced for a cancelled context also match the context's own error
+	// (context.Canceled / context.DeadlineExceeded) via errors.Is.
+	ErrCanceled = errors.New("monge: simulation canceled")
+)
+
+// Errorf wraps sentinel with a formatted detail message. The result
+// matches the sentinel under errors.Is; the message reads
+// "monge: <sentinel condition>: <detail>".
+func Errorf(sentinel error, format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{sentinel}, args...)...)
+}
+
+// Canceled wraps a context's error as a cancellation: the result matches
+// both ErrCanceled and the cause (context.Canceled or
+// context.DeadlineExceeded) under errors.Is.
+func Canceled(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// Failure is the panic payload that carries a typed error across the
+// simulator's callback frames. It implements error so an uncaught Failure
+// still prints its condition.
+type Failure struct{ Err error }
+
+// Error returns the wrapped error's message.
+func (f *Failure) Error() string { return f.Err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is / errors.As.
+func (f *Failure) Unwrap() error { return f.Err }
+
+// Throw panics with a *Failure wrapping err. Call it only from the
+// goroutine driving the simulation (superstep boundaries, input
+// validation), never from inside a parallel loop body: a panic on a pool
+// worker cannot be recovered by the caller.
+func Throw(err error) { panic(&Failure{Err: err}) }
+
+// Throwf is Throw(Errorf(sentinel, format, args...)).
+func Throwf(sentinel error, format string, args ...any) {
+	Throw(Errorf(sentinel, format, args...))
+}
+
+// Catch recovers a *Failure into *errp; any other panic value propagates
+// unchanged. Use as `defer merr.Catch(&err)` in error-returning entry
+// points. A Failure wrapping a nil error (never produced by Throw) is
+// normalized so the entry point cannot return a typed nil.
+func Catch(errp *error) {
+	switch r := recover().(type) {
+	case nil:
+	case *Failure:
+		if r.Err == nil {
+			*errp = errors.New("monge: merr: Failure with nil error")
+			return
+		}
+		*errp = r.Err
+	default:
+		panic(r)
+	}
+}

@@ -16,10 +16,23 @@
 // elementary operations so the accounting stays honest.
 //
 // In CREW mode the machine verifies that no two distinct processors write
-// the same cell in the same step and panics with a *ConflictError
+// the same cell in the same step and throws a *ConflictError (matching
+// merr.ErrWriteConflict, recoverable at the public error-returning APIs)
 // otherwise. In CRCW mode concurrent writes are resolved by the priority
 // rule (lowest processor id wins), which is deterministic and at least as
 // strong as the common and arbitrary CRCW variants assumed by the paper.
+//
+// # Robustness
+//
+// SetContext attaches a context checked at every superstep boundary: a
+// cancelled context discards the step's buffered writes and throws
+// merr.ErrCanceled, so a long simulation stops within one superstep with
+// the pool drained. SetFaults attaches a faults.Injector (the
+// environment-configured faults.Global by default): injected chunk stalls
+// are recovered by re-dispatch and injected superstep timeouts by
+// re-execution, both charged to the time/work counters, while outputs
+// stay index-exact because failed attempts are effect-free (writes are
+// buffered until the barrier). Children inherit both.
 //
 // Supersteps execute on the persistent worker pool of internal/exec, so
 // the simulation is itself parallel, but the reproduced quantities are the
@@ -30,11 +43,14 @@
 package pram
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"monge/internal/exec"
+	"monge/internal/faults"
+	"monge/internal/merr"
 )
 
 // Mode selects the memory access discipline of a Machine.
@@ -60,9 +76,10 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
-// ConflictError reports a CREW write conflict. It is delivered by panic
-// from Machine.Step, since a conflicting program is incorrect by
-// definition.
+// ConflictError reports a CREW write conflict. A conflicting program is
+// incorrect by definition, so the conflict is thrown (merr.Throw) from the
+// step barrier of Machine.Step; error-returning entry points recover it
+// with merr.Catch, and it matches merr.ErrWriteConflict under errors.Is.
 type ConflictError struct {
 	Index      int // memory cell index
 	Pid1, Pid2 int // the two writers
@@ -70,9 +87,12 @@ type ConflictError struct {
 
 // Error describes the conflict.
 func (e *ConflictError) Error() string {
-	return fmt.Sprintf("pram: CREW write conflict on cell %d by processors %d and %d",
-		e.Index, e.Pid1, e.Pid2)
+	return fmt.Sprintf("%v: cell %d written by processors %d and %d",
+		merr.ErrWriteConflict, e.Index, e.Pid1, e.Pid2)
 }
+
+// Unwrap matches the conflict to merr.ErrWriteConflict under errors.Is.
+func (e *ConflictError) Unwrap() error { return merr.ErrWriteConflict }
 
 // Machine is a simulated PRAM.
 type Machine struct {
@@ -94,6 +114,12 @@ type Machine struct {
 	// superstep. Child machines inherit it.
 	sink exec.Sink
 
+	// ctx, when non-nil, is polled at superstep boundaries; cancellation
+	// throws merr.ErrCanceled. faults, when enabled, injects chunk stalls
+	// and superstep timeouts. Child machines inherit both.
+	ctx    context.Context
+	faults *faults.Injector
+
 	// dirty lists the arrays with pending writes in the current step; an
 	// array registers itself on its first write of a step and is flushed
 	// and cleared at the step barrier. Tracking only dirty arrays keeps
@@ -107,6 +133,9 @@ type flusher interface {
 	// flush applies the pending writes and reports how many records were
 	// applied plus the largest single-shard burst (contention proxy).
 	flush(m *Machine) (writes, maxShard int)
+	// discard drops the pending writes without applying them (cancelled
+	// step: committed state must stay at the last completed barrier).
+	discard()
 }
 
 // markDirty registers f for flushing at the end of the current step.
@@ -125,7 +154,10 @@ func New(mode Mode, procs int) *Machine {
 	if procs < 1 {
 		procs = 1
 	}
-	return &Machine{mode: mode, procs: procs, pool: exec.Default(), sink: exec.GlobalSink()}
+	return &Machine{
+		mode: mode, procs: procs,
+		pool: exec.Default(), sink: exec.GlobalSink(), faults: faults.Global(),
+	}
 }
 
 // child returns a machine for a ParallelDo branch: same mode, the given
@@ -136,6 +168,8 @@ func (m *Machine) child(procs int) *Machine {
 	sub := New(m.mode, procs)
 	sub.pool = m.pool
 	sub.sink = m.sink
+	sub.ctx = m.ctx
+	sub.faults = m.faults
 	return sub
 }
 
@@ -157,6 +191,24 @@ func (m *Machine) Workers() int { return m.pool.Workers() }
 // SetSink attaches an instrumentation sink receiving one record per
 // charged superstep (nil detaches). ParallelDo children inherit it.
 func (m *Machine) SetSink(s exec.Sink) { m.sink = s }
+
+// SetContext attaches a context polled at every superstep boundary: once
+// it is cancelled the next Step discards its buffered writes and throws
+// merr.ErrCanceled (also matching the context's own error), which the
+// public error-returning APIs recover. Nil detaches. ParallelDo children
+// inherit it.
+func (m *Machine) SetContext(ctx context.Context) { m.ctx = ctx }
+
+// Context returns the attached context (nil when none).
+func (m *Machine) Context() context.Context { return m.ctx }
+
+// SetFaults attaches a fault injector (nil disables injection). Machines
+// start with the environment-configured faults.Global injector; ParallelDo
+// children inherit the parent's.
+func (m *Machine) SetFaults(in *faults.Injector) { m.faults = in }
+
+// Faults returns the attached fault injector (nil when none).
+func (m *Machine) Faults() *faults.Injector { return m.faults }
 
 // Mode returns the machine's memory access mode.
 func (m *Machine) Mode() Mode { return m.mode }
@@ -205,12 +257,53 @@ func (m *Machine) StepCost(n, cost int, body func(id int)) {
 	if cost < 1 {
 		cost = 1
 	}
+	if m.ctx != nil {
+		if cause := m.ctx.Err(); cause != nil {
+			m.discardDirty()
+			merr.Throw(merr.Canceled(cause))
+		}
+	}
 	m.steps++
-	m.time += int64(cost) * int64((n+m.procs-1)/m.procs)
+	base := int64(cost) * int64((n+m.procs-1)/m.procs)
+	m.time += base
 	m.work += int64(cost) * int64(n)
 	m.stepID++
 
-	chunks := m.pool.For(n, body)
+	var chunks int
+	var stalls int64
+	if m.ctx == nil && !m.faults.Enabled() {
+		// Fast path: no cancellation points, no injection hooks.
+		chunks = m.pool.For(n, body)
+	} else {
+		res, err := m.pool.Run(exec.Loop{
+			N: n, Body: body, Ctx: m.ctx, Stall: m.faults.StallFn(m.stepID),
+		})
+		chunks, stalls = res.Chunks, res.Stalls
+		if err != nil {
+			// The step is partial; drop its buffered writes so committed
+			// state stays exactly as of the last completed barrier.
+			m.discardDirty()
+			merr.Throw(merr.Canceled(err))
+		}
+		if m.faults.Enabled() {
+			// Charge the recoveries: each stalled chunk attempt re-executes
+			// one chunk (one extra time unit per stall at full chunk work),
+			// and each superstep timeout re-executes the whole step. The
+			// failed attempts are effect-free, so only the counters move.
+			if stalls > 0 {
+				size, _ := exec.ChunkBounds(n)
+				if size > n {
+					size = n
+				}
+				m.time += int64(cost) * stalls
+				m.work += int64(cost) * int64(size) * stalls
+			}
+			if t := m.faults.StepTimeouts(m.stepID); t > 0 {
+				m.time += int64(t) * base
+				m.work += int64(t) * int64(cost) * int64(n)
+			}
+		}
+	}
 
 	writes, maxShard := 0, 0
 	for _, a := range m.dirty {
@@ -228,6 +321,18 @@ func (m *Machine) StepCost(n, cost int, body func(id int)) {
 			N: n, Cost: cost, Chunks: chunks,
 			Writes: writes, MaxShard: maxShard,
 		})
+	}
+}
+
+// discardDirty drops every buffered write of the current (abandoned) step
+// without committing, leaving the arrays at the last completed barrier.
+func (m *Machine) discardDirty() {
+	m.dirtyMu.Lock()
+	d := m.dirty
+	m.dirty = m.dirty[:0]
+	m.dirtyMu.Unlock()
+	for _, f := range d {
+		f.discard()
 	}
 }
 
@@ -308,6 +413,17 @@ func (a *Array[T]) Snapshot() []T {
 	return out
 }
 
+// discard drops all pending writes without applying them.
+func (a *Array[T]) discard() {
+	atomic.StoreInt32(&a.dirty, 0)
+	for si := range a.shards {
+		s := &a.shards[si]
+		s.mu.Lock()
+		s.recs = s.recs[:0]
+		s.mu.Unlock()
+	}
+}
+
 // flush applies pending writes under the machine's conflict rules and
 // reports the applied record count and the largest single shard.
 func (a *Array[T]) flush(m *Machine) (writes, maxShard int) {
@@ -336,7 +452,7 @@ func (a *Array[T]) flush(m *Machine) (writes, maxShard int) {
 				// within one processor is preserved by the shard slice).
 				a.vals[r.idx] = r.val
 			case m.mode == CREW:
-				panic(&ConflictError{Index: r.idx, Pid1: cur, Pid2: r.pid})
+				merr.Throw(&ConflictError{Index: r.idx, Pid1: cur, Pid2: r.pid})
 			case r.pid < cur:
 				// Priority CRCW: lowest pid wins.
 				a.owner[r.idx] = int32(r.pid)

@@ -1,8 +1,11 @@
 package pram
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
+
+	"monge/internal/merr"
 )
 
 func TestModeString(t *testing.T) {
@@ -73,11 +76,18 @@ func TestCREWConflictDetected(t *testing.T) {
 	defer func() {
 		r := recover()
 		if r == nil {
-			t.Fatal("expected CREW conflict panic")
+			t.Fatal("expected CREW conflict throw")
 		}
-		ce, ok := r.(*ConflictError)
+		err, ok := r.(error)
 		if !ok {
-			t.Fatalf("panic value %T, want *ConflictError", r)
+			t.Fatalf("panic value %T, want a merr failure", r)
+		}
+		if !errors.Is(err, merr.ErrWriteConflict) {
+			t.Fatalf("thrown error %v does not match merr.ErrWriteConflict", err)
+		}
+		var ce *ConflictError
+		if !errors.As(err, &ce) {
+			t.Fatalf("thrown error %T does not unwrap to *ConflictError", r)
 		}
 		if ce.Index != 2 {
 			t.Fatalf("conflict index = %d, want 2", ce.Index)

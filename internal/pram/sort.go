@@ -1,5 +1,7 @@
 package pram
 
+import "monge/internal/merr"
+
 // Bitonic sorting and merging on the PRAM: O(lg^2 n) and O(lg n)
 // supersteps respectively with n/2 active processors per step. The paper's
 // Lemma 2.2 allocation "ANSV followed by sorting" uses an O(lg n)-time
@@ -14,7 +16,8 @@ package pram
 func BitonicSort[T any](m *Machine, a *Array[T], less func(x, y T) bool) {
 	n := a.Len()
 	if n&(n-1) != 0 {
-		panic("pram: BitonicSort requires a power-of-two length (use SortPadded)")
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"pram: BitonicSort requires a power-of-two length, got %d (use SortPadded)", n)
 	}
 	for k := 2; k <= n; k *= 2 {
 		for j := k / 2; j > 0; j /= 2 {
@@ -42,7 +45,8 @@ func BitonicSort[T any](m *Machine, a *Array[T], less func(x, y T) bool) {
 func BitonicMerge[T any](m *Machine, a *Array[T], less func(x, y T) bool) {
 	n := a.Len()
 	if n&(n-1) != 0 {
-		panic("pram: BitonicMerge requires a power-of-two length")
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"pram: BitonicMerge requires a power-of-two length, got %d", n)
 	}
 	if n < 2 {
 		return

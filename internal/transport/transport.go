@@ -6,10 +6,10 @@
 package transport
 
 import (
-	"fmt"
 	"math"
 
 	"monge/internal/marray"
+	"monge/internal/merr"
 )
 
 // Flow is one shipment: amount units from source i to sink j.
@@ -23,7 +23,8 @@ type Flow struct {
 // northwest-corner rule: repeatedly ship as much as possible on the
 // current (i, j) and advance whichever of supply/demand was exhausted.
 // For Monge costs the result is optimal (Hoffman). O(m+n) time.
-func Greedy(a, b []float64, c marray.Matrix) (cost float64, flows []Flow) {
+// An unbalanced problem returns an error matching merr.ErrUnbalanced.
+func Greedy(a, b []float64, c marray.Matrix) (cost float64, flows []Flow, err error) {
 	sa, sb := 0.0, 0.0
 	for _, v := range a {
 		sa += v
@@ -32,7 +33,7 @@ func Greedy(a, b []float64, c marray.Matrix) (cost float64, flows []Flow) {
 		sb += v
 	}
 	if math.Abs(sa-sb) > 1e-9*math.Max(1, math.Abs(sa)) {
-		panic(fmt.Sprintf("transport: unbalanced problem: supply %v, demand %v", sa, sb))
+		return 0, nil, merr.Errorf(merr.ErrUnbalanced, "transport: supply %v, demand %v", sa, sb)
 	}
 	ra := append([]float64(nil), a...)
 	rb := append([]float64(nil), b...)
@@ -51,6 +52,16 @@ func Greedy(a, b []float64, c marray.Matrix) (cost float64, flows []Flow) {
 		if rb[j] <= 1e-12 {
 			j++
 		}
+	}
+	return cost, flows, nil
+}
+
+// MustGreedy is Greedy for callers with statically balanced inputs; it
+// panics (with the typed error) on an unbalanced problem.
+func MustGreedy(a, b []float64, c marray.Matrix) (cost float64, flows []Flow) {
+	cost, flows, err := Greedy(a, b, c)
+	if err != nil {
+		merr.Throw(err)
 	}
 	return cost, flows
 }

@@ -1,12 +1,14 @@
 package transport
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"monge/internal/marray"
+	"monge/internal/merr"
 )
 
 func randInstance(rng *rand.Rand, m, n int) (a, b []float64) {
@@ -34,7 +36,7 @@ func TestGreedyFeasible(t *testing.T) {
 		m, n := 1+rng.Intn(10), 1+rng.Intn(10)
 		a, b := randInstance(rng, m, n)
 		c := marray.RandomMonge(rng, m, n)
-		_, flows := Greedy(a, b, c)
+		_, flows := MustGreedy(a, b, c)
 		// Shipments respect supplies and demands exactly.
 		sa := make([]float64, m)
 		sb := make([]float64, n)
@@ -77,7 +79,7 @@ func TestGreedyOptimalOnMonge(t *testing.T) {
 		shifted := marray.Func{M: m, N: n, F: func(i, j int) float64 {
 			return c.At(i, j) - lo
 		}}
-		gc, _ := Greedy(a, b, shifted)
+		gc, _ := MustGreedy(a, b, shifted)
 		oc := Optimal(a, b, shifted)
 		if math.Abs(gc-oc) > 1e-6*math.Max(1, oc) {
 			t.Fatalf("trial %d: greedy %v vs optimal %v", trial, gc, oc)
@@ -94,20 +96,24 @@ func TestGreedySuboptimalOnNonMonge(t *testing.T) {
 		{10, 0},
 		{0, 10},
 	})
-	gc, _ := Greedy(a, b, c)
+	gc, _ := MustGreedy(a, b, c)
 	oc := Optimal(a, b, c)
 	if gc <= oc {
 		t.Fatalf("expected greedy (%v) to lose to optimal (%v) on anti-Monge costs", gc, oc)
 	}
 }
 
-func TestGreedyUnbalancedPanics(t *testing.T) {
+func TestGreedyUnbalancedError(t *testing.T) {
+	_, _, err := Greedy([]float64{1}, []float64{2}, marray.NewDense(1, 1))
+	if !errors.Is(err, merr.ErrUnbalanced) {
+		t.Fatalf("err = %v, want merr.ErrUnbalanced", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("unbalanced instance must panic")
+			t.Fatal("unbalanced instance must panic through MustGreedy")
 		}
 	}()
-	Greedy([]float64{1}, []float64{2}, marray.NewDense(1, 1))
+	MustGreedy([]float64{1}, []float64{2}, marray.NewDense(1, 1))
 }
 
 func TestQuickGreedyOptimal(t *testing.T) {
@@ -124,7 +130,7 @@ func TestQuickGreedyOptimal(t *testing.T) {
 			}
 		}
 		sh := marray.Func{M: m, N: n, F: func(i, j int) float64 { return c.At(i, j) - lo }}
-		gc, _ := Greedy(a, b, sh)
+		gc, _ := MustGreedy(a, b, sh)
 		oc := Optimal(a, b, sh)
 		return math.Abs(gc-oc) < 1e-6*math.Max(1, oc)
 	}

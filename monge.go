@@ -17,16 +17,23 @@
 //
 // # Searching
 //
-//	RowMinima(a)            // SMAWK: leftmost row minima of a Monge array, Theta(m+n)
-//	RowMaxima(a)            // leftmost row maxima of an inverse-Monge array
-//	StaircaseRowMinima(a)   // leftmost finite row minima of a staircase-Monge array
-//	TubeMaxima(c)           // per-(i,k) best middle coordinate of a Monge-composite array
+//	idx, err := RowMinima(a)          // SMAWK: leftmost row minima of a Monge array, Theta(m+n)
+//	idx, err = RowMaxima(a)           // leftmost row maxima of an inverse-Monge array
+//	idx, err = StaircaseRowMinima(a)  // leftmost finite row minima of a staircase-Monge array
+//	tub, _, err := TubeMaxima(c)      // per-(i,k) best middle coordinate of a Monge-composite array
+//
+// The error-returning entry points screen their input with cheap sampled
+// structural validators and return typed errors (ErrNotMonge,
+// ErrDimensionMismatch, ...; match with errors.Is). The Must* variants
+// (MustRowMinima etc.) skip validation and panic with the typed error on
+// conditions detected during the computation — the zero-overhead form for
+// inputs that are Monge by construction.
 //
 // Parallel counterparts run on simulated machines:
 //
 //	mach := NewPRAM(CRCW, n)
-//	idx := RowMinimaPRAM(mach, a)         // O(lg n) charged time, Table 1.1
-//	idx = StaircaseRowMinimaPRAM(mach, a) // Theorem 2.3, Table 1.2
+//	idx, err := RowMinimaPRAM(mach, a)         // O(lg n) charged time, Table 1.1
+//	idx, err = StaircaseRowMinimaPRAM(mach, a) // Theorem 2.3, Table 1.2
 //
 // and on distributed-memory networks (hypercube, CCC, shuffle-exchange)
 // via the hcmonge subpackage-backed entry points RowMinimaHypercube etc.
@@ -34,7 +41,12 @@
 //
 // The machines expose Time, Work, and communication counters; those
 // counters are what the repository's benchmark harness compares against
-// the paper's complexity tables (see EXPERIMENTS.md).
+// the paper's complexity tables (see EXPERIMENTS.md). They also carry the
+// robustness hooks of this repository's runtime: SetContext attaches a
+// context that cancels a long simulation at the next superstep (the entry
+// point returns ErrCanceled), and SetFaults attaches a deterministic fault
+// injector under which every algorithm still returns index-exact results
+// (see the faults package and README's "Fault model & error contract").
 package monge
 
 import (
@@ -42,6 +54,7 @@ import (
 	"monge/internal/hcmonge"
 	hc "monge/internal/hypercube"
 	"monge/internal/marray"
+	"monge/internal/merr"
 	"monge/internal/pram"
 	"monge/internal/smawk"
 )
@@ -75,8 +88,17 @@ func NewStair(m, n int, f func(i, j int) float64, bound func(i int) int) Stairca
 // FromRows builds a Dense matrix from row slices.
 func FromRows(rows [][]float64) *Dense { return marray.FromRows(rows) }
 
-// NewComposite validates and wraps the two factor matrices.
-func NewComposite(d, e Matrix) Composite { return marray.NewComposite(d, e) }
+// NewComposite wraps the two factor matrices, checking that D's column
+// count matches E's row count (ErrDimensionMismatch otherwise).
+func NewComposite(d, e Matrix) (Composite, error) {
+	var c Composite
+	err := catchInto(func() { c = marray.NewComposite(d, e) })
+	return c, err
+}
+
+// MustNewComposite is NewComposite panicking with the typed error on a
+// dimension mismatch.
+func MustNewComposite(d, e Matrix) Composite { return marray.NewComposite(d, e) }
 
 // IsMonge reports whether a satisfies the Monge inequality.
 func IsMonge(a Matrix) bool { return marray.IsMonge(a) }
@@ -86,6 +108,28 @@ func IsInverseMonge(a Matrix) bool { return marray.IsInverseMonge(a) }
 
 // IsStaircaseMonge reports whether a is staircase-Monge.
 func IsStaircaseMonge(a Matrix) bool { return marray.IsStaircaseMonge(a) }
+
+// CheckMonge verifies the Monge inequality on every adjacent 2x2 minor in
+// O(m*n) and returns an error matching ErrNotMonge naming the first
+// violated minor.
+func CheckMonge(a Matrix) error { return marray.CheckMonge(a) }
+
+// CheckInverseMonge is CheckMonge for the reversed inequality
+// (ErrNotInverseMonge).
+func CheckInverseMonge(a Matrix) error { return marray.CheckInverseMonge(a) }
+
+// CheckStaircaseMonge verifies the staircase pattern (ErrNotStaircase) and
+// the Monge inequality on finite adjacent minors (ErrNotMonge) in O(m*n).
+func CheckStaircaseMonge(a Matrix) error { return marray.CheckStaircaseMonge(a) }
+
+// catchInto runs f, converting a thrown merr failure into a returned
+// error; it is the bridge between the internal panic transport and the
+// public error-returning API.
+func catchInto(f func()) (err error) {
+	defer merr.Catch(&err)
+	f()
+	return nil
+}
 
 // Transpose returns the transposed view (Monge-ness is preserved).
 func Transpose(a Matrix) Matrix { return marray.Transpose(a) }
@@ -103,28 +147,102 @@ func ReverseCols(a Matrix) Matrix { return marray.ReverseCols(a) }
 func ReverseRows(a Matrix) Matrix { return marray.ReverseRows(a) }
 
 // --- Sequential searching -------------------------------------------------
+//
+// Each problem has two forms. The error-returning form screens the input
+// with the corresponding sampled validator — O(m+n) deterministic probes
+// that never reject a valid array — and recovers any typed condition the
+// computation throws. The Must* form skips validation entirely (identical
+// cost to the pre-error API) and panics with the typed error instead,
+// for inputs that carry the structure by construction.
 
 // RowMinima returns the leftmost row minima of a Monge array in
-// Theta(m+n) time (SMAWK).
-func RowMinima(a Matrix) []int { return smawk.RowMinima(a) }
+// Theta(m+n) time (SMAWK). Inputs failing the sampled Monge screen return
+// ErrNotMonge.
+func RowMinima(a Matrix) (idx []int, err error) {
+	if err = marray.CheckMongeSampled(a); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = smawk.RowMinima(a) })
+	return idx, err
+}
+
+// MustRowMinima is RowMinima without the validation screen.
+func MustRowMinima(a Matrix) []int { return smawk.RowMinima(a) }
 
 // RowMaxima returns the leftmost row maxima of an inverse-Monge array.
-func RowMaxima(a Matrix) []int { return smawk.RowMaxima(a) }
+// Inputs failing the sampled inverse-Monge screen return
+// ErrNotInverseMonge.
+func RowMaxima(a Matrix) (idx []int, err error) {
+	if err = marray.CheckInverseMongeSampled(a); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = smawk.RowMaxima(a) })
+	return idx, err
+}
+
+// MustRowMaxima is RowMaxima without the validation screen.
+func MustRowMaxima(a Matrix) []int { return smawk.RowMaxima(a) }
 
 // MongeRowMaxima returns the leftmost row maxima of a Monge array (the
 // Table 1.1 problem).
-func MongeRowMaxima(a Matrix) []int { return smawk.MongeRowMaxima(a) }
+func MongeRowMaxima(a Matrix) (idx []int, err error) {
+	if err = marray.CheckMongeSampled(a); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = smawk.MongeRowMaxima(a) })
+	return idx, err
+}
+
+// MustMongeRowMaxima is MongeRowMaxima without the validation screen.
+func MustMongeRowMaxima(a Matrix) []int { return smawk.MongeRowMaxima(a) }
 
 // StaircaseRowMinima returns the leftmost finite row minima of a
-// staircase-Monge array (-1 for fully blocked rows).
-func StaircaseRowMinima(a Matrix) []int { return smawk.StaircaseRowMinima(a) }
+// staircase-Monge array (-1 for fully blocked rows). Inputs failing the
+// sampled staircase-Monge screen return ErrNotStaircase or ErrNotMonge.
+func StaircaseRowMinima(a Matrix) (idx []int, err error) {
+	if err = marray.CheckStaircaseMongeSampled(a); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = smawk.StaircaseRowMinima(a) })
+	return idx, err
+}
+
+// MustStaircaseRowMinima is StaircaseRowMinima without the validation
+// screen.
+func MustStaircaseRowMinima(a Matrix) []int { return smawk.StaircaseRowMinima(a) }
 
 // TubeMaxima returns, per (i,k) tube of a Monge-composite array, the
-// smallest maximising middle coordinate and the maxima values.
-func TubeMaxima(c Composite) ([][]int, [][]float64) { return smawk.TubeMaxima(c) }
+// smallest maximising middle coordinate and the maxima values. Factor
+// matrices failing the sampled Monge screen return ErrNotMonge.
+func TubeMaxima(c Composite) (idx [][]int, vals [][]float64, err error) {
+	if err = marray.CheckMongeSampled(c.D); err != nil {
+		return nil, nil, err
+	}
+	if err = marray.CheckMongeSampled(c.E); err != nil {
+		return nil, nil, err
+	}
+	err = catchInto(func() { idx, vals = smawk.TubeMaxima(c) })
+	return idx, vals, err
+}
 
-// TubeMinima is the minimisation analogue for inverse-Monge factors.
-func TubeMinima(c Composite) ([][]int, [][]float64) { return smawk.TubeMinima(c) }
+// MustTubeMaxima is TubeMaxima without the validation screen.
+func MustTubeMaxima(c Composite) ([][]int, [][]float64) { return smawk.TubeMaxima(c) }
+
+// TubeMinima is the minimisation analogue for inverse-Monge factors
+// (ErrNotInverseMonge on the sampled screen).
+func TubeMinima(c Composite) (idx [][]int, vals [][]float64, err error) {
+	if err = marray.CheckInverseMongeSampled(c.D); err != nil {
+		return nil, nil, err
+	}
+	if err = marray.CheckInverseMongeSampled(c.E); err != nil {
+		return nil, nil, err
+	}
+	err = catchInto(func() { idx, vals = smawk.TubeMinima(c) })
+	return idx, vals, err
+}
+
+// MustTubeMinima is TubeMinima without the validation screen.
+func MustTubeMinima(c Composite) ([][]int, [][]float64) { return smawk.TubeMinima(c) }
 
 // --- PRAM -----------------------------------------------------------------
 
@@ -146,29 +264,95 @@ func NewPRAM(mode Mode, procs int) *PRAM { return pram.New(mode, procs) }
 
 // RowMinimaPRAM computes leftmost row minima of a Monge array on mach:
 // O(lg n) charged time with n processors on CRCW (Table 1.1 via negation).
-func RowMinimaPRAM(mach *PRAM, a Matrix) []int { return core.RowMinima(mach, a) }
+// Besides the sampled ErrNotMonge screen, the error return surfaces every
+// typed condition of the simulation: ErrCanceled when mach's context is
+// cancelled, ErrWriteConflict on a CREW conflict, and so on.
+func RowMinimaPRAM(mach *PRAM, a Matrix) (idx []int, err error) {
+	if err = marray.CheckMongeSampled(a); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = core.RowMinima(mach, a) })
+	return idx, err
+}
+
+// MustRowMinimaPRAM is RowMinimaPRAM without the validation screen,
+// panicking with the typed error on simulation conditions.
+func MustRowMinimaPRAM(mach *PRAM, a Matrix) []int { return core.RowMinima(mach, a) }
 
 // RowMaximaPRAM computes leftmost row maxima of an inverse-Monge array.
-func RowMaximaPRAM(mach *PRAM, a Matrix) []int { return core.RowMaxima(mach, a) }
+func RowMaximaPRAM(mach *PRAM, a Matrix) (idx []int, err error) {
+	if err = marray.CheckInverseMongeSampled(a); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = core.RowMaxima(mach, a) })
+	return idx, err
+}
+
+// MustRowMaximaPRAM is RowMaximaPRAM without the validation screen.
+func MustRowMaximaPRAM(mach *PRAM, a Matrix) []int { return core.RowMaxima(mach, a) }
 
 // MongeRowMaximaPRAM computes leftmost row maxima of a Monge array
 // (Table 1.1's problem statement).
-func MongeRowMaximaPRAM(mach *PRAM, a Matrix) []int { return core.MongeRowMaxima(mach, a) }
+func MongeRowMaximaPRAM(mach *PRAM, a Matrix) (idx []int, err error) {
+	if err = marray.CheckMongeSampled(a); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = core.MongeRowMaxima(mach, a) })
+	return idx, err
+}
+
+// MustMongeRowMaximaPRAM is MongeRowMaximaPRAM without the validation
+// screen.
+func MustMongeRowMaximaPRAM(mach *PRAM, a Matrix) []int { return core.MongeRowMaxima(mach, a) }
 
 // StaircaseRowMinimaPRAM is Theorem 2.3: leftmost finite row minima of a
 // staircase-Monge array, O(lg n) charged CRCW time with n processors
 // (Table 1.2).
-func StaircaseRowMinimaPRAM(mach *PRAM, a Matrix) []int {
+func StaircaseRowMinimaPRAM(mach *PRAM, a Matrix) (idx []int, err error) {
+	if err = marray.CheckStaircaseMongeSampled(a); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = core.StaircaseRowMinima(mach, a) })
+	return idx, err
+}
+
+// MustStaircaseRowMinimaPRAM is StaircaseRowMinimaPRAM without the
+// validation screen.
+func MustStaircaseRowMinimaPRAM(mach *PRAM, a Matrix) []int {
 	return core.StaircaseRowMinima(mach, a)
 }
 
 // TubeMaximaPRAM solves the tube-maxima problem on mach (Table 1.3).
-func TubeMaximaPRAM(mach *PRAM, c Composite) ([][]int, [][]float64) {
+func TubeMaximaPRAM(mach *PRAM, c Composite) (idx [][]int, vals [][]float64, err error) {
+	if err = marray.CheckMongeSampled(c.D); err != nil {
+		return nil, nil, err
+	}
+	if err = marray.CheckMongeSampled(c.E); err != nil {
+		return nil, nil, err
+	}
+	err = catchInto(func() { idx, vals = core.TubeMaxima(mach, c) })
+	return idx, vals, err
+}
+
+// MustTubeMaximaPRAM is TubeMaximaPRAM without the validation screen.
+func MustTubeMaximaPRAM(mach *PRAM, c Composite) ([][]int, [][]float64) {
 	return core.TubeMaxima(mach, c)
 }
 
 // TubeMinimaPRAM is the minimisation analogue for inverse-Monge factors.
-func TubeMinimaPRAM(mach *PRAM, c Composite) ([][]int, [][]float64) {
+func TubeMinimaPRAM(mach *PRAM, c Composite) (idx [][]int, vals [][]float64, err error) {
+	if err = marray.CheckInverseMongeSampled(c.D); err != nil {
+		return nil, nil, err
+	}
+	if err = marray.CheckInverseMongeSampled(c.E); err != nil {
+		return nil, nil, err
+	}
+	err = catchInto(func() { idx, vals = core.TubeMinima(mach, c) })
+	return idx, vals, err
+}
+
+// MustTubeMinimaPRAM is TubeMinimaPRAM without the validation screen.
+func MustTubeMinimaPRAM(mach *PRAM, c Composite) ([][]int, [][]float64) {
 	return core.TubeMinima(mach, c)
 }
 
@@ -187,31 +371,107 @@ const (
 // Network is a simulated distributed-memory machine.
 type Network = hc.Machine
 
+// NewNetworkFor returns a machine of the given kind sized for an m x n
+// search, for callers that want to attach a context (Network.SetContext),
+// fault injector (Network.SetFaults), or instrumentation sink before
+// passing it to the *Hypercube entry points.
+func NewNetworkFor(kind NetworkKind, m, n int) *Network {
+	return hcmonge.MachineFor(kind, m, n)
+}
+
 // RowMinimaHypercube computes leftmost row minima of the Monge array
 // a[i,j] = f(v[i], w[j]) in the paper's distributed input model (processor
-// i holds v[i] and w[i]) on a freshly sized network of the given kind,
-// returning the answers and the machine for counter inspection
+// i holds v[i] and w[i]) on mach (use NewNetworkFor, or any machine at
+// least that large — ErrMachineTooSmall otherwise), returning the answers
 // (Theorem 3.2's time bound; see EXPERIMENTS.md for the processor-count
-// deviation).
-func RowMinimaHypercube(kind NetworkKind, v, w []float64, f func(vi, wj float64) float64) ([]int, *Network) {
+// deviation). The error surfaces the sampled ErrNotMonge screen and every
+// typed simulation condition, including ErrCanceled from mach's context.
+func RowMinimaHypercube(mach *Network, v, w []float64, f func(vi, wj float64) float64) (idx []int, err error) {
+	if err = marray.CheckMongeSampled(distArray(v, w, f)); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = hcmonge.RowMinimaOn(mach, v, w, f) })
+	return idx, err
+}
+
+// MustRowMinimaHypercube runs on a freshly sized machine with no
+// validation screen, returning the machine for counter inspection (the
+// pre-error-API form).
+func MustRowMinimaHypercube(kind NetworkKind, v, w []float64, f func(vi, wj float64) float64) ([]int, *Network) {
 	return hcmonge.RowMinima(kind, v, w, f)
 }
 
 // MongeRowMaximaHypercube is the Table 1.1 row-maxima problem on the
 // distributed networks.
-func MongeRowMaximaHypercube(kind NetworkKind, v, w []float64, f func(vi, wj float64) float64) ([]int, *Network) {
+func MongeRowMaximaHypercube(mach *Network, v, w []float64, f func(vi, wj float64) float64) (idx []int, err error) {
+	if err = marray.CheckMongeSampled(distArray(v, w, f)); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = hcmonge.MongeRowMaximaOn(mach, v, w, f) })
+	return idx, err
+}
+
+// MustMongeRowMaximaHypercube runs on a freshly sized machine with no
+// validation screen.
+func MustMongeRowMaximaHypercube(kind NetworkKind, v, w []float64, f func(vi, wj float64) float64) ([]int, *Network) {
 	return hcmonge.MongeRowMaxima(kind, v, w, f)
 }
 
 // StaircaseRowMinimaHypercube is Theorem 3.3: staircase-Monge row minima
 // on the distributed networks; bound[i] is row i's first blocked column
-// (nonincreasing).
-func StaircaseRowMinimaHypercube(kind NetworkKind, v []float64, bound []int, w []float64, f func(vi, wj float64) float64) ([]int, *Network) {
+// (nonincreasing, ErrNotStaircase otherwise).
+func StaircaseRowMinimaHypercube(mach *Network, v []float64, bound []int, w []float64, f func(vi, wj float64) float64) (idx []int, err error) {
+	stair := NewStair(len(v), len(w), func(i, j int) float64 { return f(v[i], w[j]) }, func(i int) int {
+		b := bound[i]
+		if b < 0 {
+			b = 0
+		}
+		if b > len(w) {
+			b = len(w)
+		}
+		return b
+	})
+	if err = marray.CheckStaircaseMongeSampled(stair); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = hcmonge.StaircaseRowMinimaOn(mach, v, bound, w, f) })
+	return idx, err
+}
+
+// MustStaircaseRowMinimaHypercube runs on a freshly sized machine with no
+// validation screen.
+func MustStaircaseRowMinimaHypercube(kind NetworkKind, v []float64, bound []int, w []float64, f func(vi, wj float64) float64) ([]int, *Network) {
 	return hcmonge.StaircaseRowMinima(kind, v, bound, w, f)
 }
 
+// NewTubeNetworkFor returns a machine of the given kind sized for the tube
+// search on composite c (one subcube per slice of the first dimension).
+func NewTubeNetworkFor(kind NetworkKind, c Composite) *Network {
+	return hcmonge.TubeMachineFor(kind, c)
+}
+
 // TubeMaximaHypercube is Theorem 3.4: tube maxima of a Monge-composite
-// array on an O(n^2)-processor network in O(lg n) charged time.
-func TubeMaximaHypercube(kind NetworkKind, c Composite) ([][]int, [][]float64, *Network) {
+// array on an O(n^2)-processor network in O(lg n) charged time. Size mach
+// with NewTubeNetworkFor.
+func TubeMaximaHypercube(mach *Network, c Composite) (idx [][]int, vals [][]float64, err error) {
+	if err = marray.CheckMongeSampled(c.D); err != nil {
+		return nil, nil, err
+	}
+	if err = marray.CheckMongeSampled(c.E); err != nil {
+		return nil, nil, err
+	}
+	err = catchInto(func() { idx, vals = hcmonge.TubeMaximaOn(mach, c) })
+	return idx, vals, err
+}
+
+// MustTubeMaximaHypercube runs on a freshly sized machine with no
+// validation screen.
+func MustTubeMaximaHypercube(kind NetworkKind, c Composite) ([][]int, [][]float64, *Network) {
 	return hcmonge.TubeMaxima(kind, c)
+}
+
+// distArray views the distributed inputs as the implicit matrix they
+// define, for the boundary validators.
+func distArray(v, w []float64, f func(vi, wj float64) float64) Matrix {
+	return marray.Func{M: len(v), N: len(w), F: func(i, j int) float64 { return f(v[i], w[j]) }}
 }

@@ -16,17 +16,17 @@ func TestFacadeSequential(t *testing.T) {
 	if !IsMonge(a) {
 		t.Fatal("test array should be Monge")
 	}
-	if got := RowMinima(a); got[0] != 1 || got[1] != 1 || got[2] != 1 {
+	if got := MustRowMinima(a); got[0] != 1 || got[1] != 1 || got[2] != 1 {
 		t.Fatalf("RowMinima = %v", got)
 	}
-	if got := MongeRowMaxima(a); got[0] != 2 || got[2] != 0 {
+	if got := MustMongeRowMaxima(a); got[0] != 2 || got[2] != 0 {
 		t.Fatalf("MongeRowMaxima = %v", got)
 	}
 	inv := Negate(a)
 	if !IsInverseMonge(inv) {
 		t.Fatal("negation should be inverse-Monge")
 	}
-	if got := RowMaxima(inv); got[1] != 1 {
+	if got := MustRowMaxima(inv); got[1] != 1 {
 		t.Fatalf("RowMaxima = %v", got)
 	}
 }
@@ -39,12 +39,12 @@ func TestFacadeStaircase(t *testing.T) {
 	if !IsStaircaseMonge(s) {
 		t.Fatal("stair should be staircase-Monge")
 	}
-	idx := StaircaseRowMinima(s)
+	idx := MustStaircaseRowMinima(s)
 	if len(idx) != 3 {
 		t.Fatal("length wrong")
 	}
 	mach := NewPRAM(CRCW, 8)
-	pidx := StaircaseRowMinimaPRAM(mach, s)
+	pidx := MustStaircaseRowMinimaPRAM(mach, s)
 	for i := range idx {
 		if idx[i] != pidx[i] {
 			t.Fatalf("PRAM staircase disagrees at %d", i)
@@ -56,8 +56,8 @@ func TestFacadePRAMAndViews(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	a := marray.RandomMonge(rng, 20, 20)
 	mach := NewPRAM(CREW, 40)
-	got := RowMinimaPRAM(mach, a)
-	want := RowMinima(a)
+	got := MustRowMinimaPRAM(mach, a)
+	want := MustRowMinima(a)
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatal("PRAM row minima disagree")
@@ -77,10 +77,10 @@ func TestFacadePRAMAndViews(t *testing.T) {
 
 func TestFacadeTube(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	c := NewComposite(marray.RandomMonge(rng, 5, 6), marray.RandomMonge(rng, 6, 7))
-	argJ, vals := TubeMaxima(c)
+	c := MustNewComposite(marray.RandomMonge(rng, 5, 6), marray.RandomMonge(rng, 6, 7))
+	argJ, vals := MustTubeMaxima(c)
 	mach := NewPRAM(CREW, 5*13)
-	pArgJ, pVals := TubeMaximaPRAM(mach, c)
+	pArgJ, pVals := MustTubeMaximaPRAM(mach, c)
 	for i := range argJ {
 		for k := range argJ[i] {
 			if argJ[i][k] != pArgJ[i][k] || vals[i][k] != pVals[i][k] {
@@ -89,10 +89,10 @@ func TestFacadeTube(t *testing.T) {
 		}
 	}
 	// inverse-Monge factors for minima
-	ci := NewComposite(marray.RandomInverseMonge(rng, 4, 5), marray.RandomInverseMonge(rng, 5, 6))
-	mArgJ, _ := TubeMinima(ci)
+	ci := MustNewComposite(marray.RandomInverseMonge(rng, 4, 5), marray.RandomInverseMonge(rng, 5, 6))
+	mArgJ, _ := MustTubeMinima(ci)
 	mach2 := NewPRAM(CRCW, 4*11)
-	pmArgJ, _ := TubeMinimaPRAM(mach2, ci)
+	pmArgJ, _ := MustTubeMinimaPRAM(mach2, ci)
 	for i := range mArgJ {
 		for k := range mArgJ[i] {
 			if mArgJ[i][k] != pmArgJ[i][k] {
@@ -113,9 +113,9 @@ func TestFacadeHypercube(t *testing.T) {
 		w[i] = float64(i)
 	}
 	f := func(vi, wj float64) float64 { return a.At(int(vi), int(wj)) }
-	want := RowMinima(a)
+	want := MustRowMinima(a)
 	for _, kind := range []NetworkKind{Hypercube, CCC, ShuffleExchange} {
-		got, mach := RowMinimaHypercube(kind, v, w, f)
+		got, mach := MustRowMinimaHypercube(kind, v, w, f)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("kind %v disagrees", kind)
@@ -125,8 +125,8 @@ func TestFacadeHypercube(t *testing.T) {
 			t.Fatal("network time must be charged")
 		}
 	}
-	gotMax, _ := MongeRowMaximaHypercube(Hypercube, v, w, f)
-	wantMax := MongeRowMaxima(a)
+	gotMax, _ := MustMongeRowMaximaHypercube(Hypercube, v, w, f)
+	wantMax := MustMongeRowMaxima(a)
 	for i := range wantMax {
 		if gotMax[i] != wantMax[i] {
 			t.Fatal("hypercube maxima disagree")
@@ -135,17 +135,17 @@ func TestFacadeHypercube(t *testing.T) {
 	// staircase
 	bounds := marray.RandomStaircaseBoundary(rng, n, n)
 	st := NewStair(n, n, func(i, j int) float64 { return a.At(i, j) }, func(i int) int { return bounds[i] })
-	wantSt := StaircaseRowMinima(st)
-	gotSt, _ := StaircaseRowMinimaHypercube(Hypercube, v, bounds, w, f)
+	wantSt := MustStaircaseRowMinima(st)
+	gotSt, _ := MustStaircaseRowMinimaHypercube(Hypercube, v, bounds, w, f)
 	for i := range wantSt {
 		if gotSt[i] != wantSt[i] {
 			t.Fatal("hypercube staircase disagrees")
 		}
 	}
 	// tube
-	c := NewComposite(marray.RandomMonge(rng, 6, 6), marray.RandomMonge(rng, 6, 6))
-	wantJ, _ := TubeMaxima(c)
-	gotJ, _, _ := TubeMaximaHypercube(Hypercube, c)
+	c := MustNewComposite(marray.RandomMonge(rng, 6, 6), marray.RandomMonge(rng, 6, 6))
+	wantJ, _ := MustTubeMaxima(c)
+	gotJ, _, _ := MustTubeMaximaHypercube(Hypercube, c)
 	for i := range wantJ {
 		for k := range wantJ[i] {
 			if gotJ[i][k] != wantJ[i][k] {
