@@ -24,6 +24,7 @@ import (
 	"monge/internal/hcmonge"
 	hc "monge/internal/hypercube"
 	"monge/internal/marray"
+	"monge/internal/obs"
 	"monge/internal/pram"
 	"monge/internal/rect"
 	"monge/internal/smawk"
@@ -588,5 +589,44 @@ func BenchmarkRowMinima(b *testing.B) {
 			core.RowMinima(mach, a)
 		}
 		reportMachine(b, mach, n)
+	})
+}
+
+// --- Observability: disabled-observer overhead ------------------------------
+
+// BenchmarkObsOverhead guards the "free when off" contract of the
+// observability layer: with no global observer installed, every
+// instrumentation hook in the machines and the worker pool is a single
+// nil check (pool path: one atomic pointer load), so the obs=off
+// sub-benchmark must match the pre-observability runtime. obs=on
+// brackets the cost of live counters from above; tracing is measured
+// separately since span capture allocates. Recorded in EXPERIMENTS.md
+// under "Observability".
+func BenchmarkObsOverhead(b *testing.B) {
+	const n = 1024
+	a := marray.RandomMonge(rand.New(rand.NewSource(1)), n, n)
+	prev := obs.Global()
+	defer obs.SetGlobal(prev)
+	run := func(b *testing.B) {
+		mach := pram.New(pram.CRCW, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.RowMinima(mach, a)
+		}
+		reportMachine(b, mach, n)
+	}
+	b.Run("obs=off", func(b *testing.B) {
+		obs.SetGlobal(nil)
+		run(b)
+	})
+	b.Run("obs=on", func(b *testing.B) {
+		obs.SetGlobal(obs.NewObserver())
+		run(b)
+	})
+	b.Run("obs=on+trace", func(b *testing.B) {
+		o := obs.NewObserver()
+		o.EnableTracing(0)
+		obs.SetGlobal(o)
+		run(b)
 	})
 }

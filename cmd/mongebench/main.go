@@ -6,6 +6,7 @@
 //
 //	mongebench [-exp all|t11|t12|t13|fig11|app1|app2|app3|app4] [-maxn 2048] [-seed 1]
 //	           [-timeout 30s] [-faults 0.05] [-fault-seed 1]
+//	           [-metrics] [-trace-out trace.json] [-profile cpu.pprof]
 //
 // Each row reports the charged time of the simulated machine at a ladder
 // of sizes plus the "shape ratio" time/bound(n), which should stay roughly
@@ -17,6 +18,17 @@
 // counters to a shared collector, and the aggregate is written as JSON
 // ("-" for stdout) when the experiments finish. The schema is documented
 // in README.md under "Instrumentation".
+//
+// With -metrics, the observability layer (internal/obs) is installed
+// process-wide and the per-site counters — charged supersteps/time/work,
+// shared-memory reads/writes, write conflicts by mode, link messages and
+// bytes, fault recoveries — are printed as a table when the experiments
+// finish; the same snapshot is published as the expvar variable
+// "monge_obs". With -trace-out, every charged superstep additionally
+// records a wall-clock span and the run is exported in Chrome trace_event
+// format (load the file at chrome://tracing or ui.perfetto.dev). With
+// -profile, a CPU profile of the whole run is written via runtime/pprof.
+// See EXPERIMENTS.md "Observability" for the metrics glossary.
 //
 // With -faults (a rate in (0, 0.9]), every simulated machine runs under
 // the deterministic fault injector of internal/faults — transient chunk
@@ -33,8 +45,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"monge/internal/core"
@@ -45,20 +59,33 @@ import (
 	hc "monge/internal/hypercube"
 	"monge/internal/marray"
 	"monge/internal/merr"
+	"monge/internal/obs"
 	"monge/internal/pram"
 	"monge/internal/rect"
 	"monge/internal/stredit"
 )
 
+// The flag values and output writers are package state so the experiment
+// functions stay terse; mainImpl re-initialises all of them per
+// invocation, which keeps the command testable (cmd tests call mainImpl
+// with their own argv and buffers).
 var (
-	expFlag   = flag.String("exp", "all", "experiment: all, t11, t12, t13, fig11, app1, app2, app3, app4")
-	maxN      = flag.Int("maxn", 2048, "largest problem size in the ladder")
-	seed      = flag.Int64("seed", 1, "workload seed")
-	traceFlag = flag.String("trace", "", "write aggregated per-step runtime counters as JSON to this file (\"-\" for stdout)")
-	timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no deadline)")
-	faultRate = flag.Float64("faults", 0, "per-unit fault injection rate in (0, 0.9]; 0 disables injection")
-	faultSeed = flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
+	expFlag   string
+	maxN      int
+	seed      int64
+	traceFlag string
+	timeout   time.Duration
+	faultRate float64
+	faultSeed int64
+	metricsOn bool
+	traceOut  string
+	profile   string
+
+	out  io.Writer = os.Stdout
+	errw io.Writer = os.Stderr
 )
+
+func printf(format string, a ...any) { fmt.Fprintf(out, format, a...) }
 
 // benchCtx carries the -timeout deadline into every machine the
 // experiments create; nil when no deadline is set.
@@ -83,31 +110,94 @@ func tuned(m *hc.Machine) *hc.Machine {
 }
 
 func main() {
-	flag.Parse()
+	os.Exit(mainImpl(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// mainImpl is the whole command behind a testable seam: it parses args,
+// installs the process-wide instrumentation the flags ask for (restoring
+// the previous state on return), runs the selected experiments against
+// stdout/stderr, and returns the process exit code — 1 when a run aborts
+// on a typed condition such as ErrCanceled at the -timeout deadline,
+// 2 on usage errors.
+func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
+	out, errw = stdout, stderr
+	fs := flag.NewFlagSet("mongebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&expFlag, "exp", "all", "experiment: all, t11, t12, t13, fig11, app1, app2, app3, app4")
+	fs.IntVar(&maxN, "maxn", 2048, "largest problem size in the ladder")
+	fs.Int64Var(&seed, "seed", 1, "workload seed")
+	fs.StringVar(&traceFlag, "trace", "", "write aggregated per-step runtime counters as JSON to this file (\"-\" for stdout)")
+	fs.DurationVar(&timeout, "timeout", 0, "cancel the run after this duration (0 = no deadline)")
+	fs.Float64Var(&faultRate, "faults", 0, "per-unit fault injection rate in (0, 0.9]; 0 disables injection")
+	fs.Int64Var(&faultSeed, "fault-seed", 1, "seed of the deterministic fault schedule")
+	fs.BoolVar(&metricsOn, "metrics", false, "collect per-site observability counters and print them as a table (also published as expvar \"monge_obs\")")
+	fs.StringVar(&traceOut, "trace-out", "", "record per-superstep spans and write them in Chrome trace_event format to this file")
+	fs.StringVar(&profile, "profile", "", "write a CPU profile of the run to this file (runtime/pprof)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
 	var collector *exec.Collector
-	if *traceFlag != "" {
+	if traceFlag != "" {
 		collector = exec.NewCollector()
+		prev := exec.GlobalSink()
 		exec.SetGlobalSink(collector)
+		defer exec.SetGlobalSink(prev)
 	}
 	var injector *faults.Injector
-	if *faultRate > 0 {
-		injector = faults.New(*faultSeed, *faultRate)
+	if faultRate > 0 {
+		injector = faults.New(faultSeed, faultRate)
+		prev := faults.Global()
 		faults.SetGlobal(injector)
-		fmt.Printf("%s\n", injector)
+		defer faults.SetGlobal(prev)
+		printf("%s\n", injector)
 	}
-	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	var observer *obs.Observer
+	if metricsOn || traceOut != "" {
+		observer = obs.NewObserver()
+		if traceOut != "" {
+			observer.EnableTracing(0)
+		}
+		prev := obs.Global()
+		obs.SetGlobal(observer)
+		defer obs.SetGlobal(prev)
+		if metricsOn {
+			obs.PublishExpvar()
+		}
+	}
+	if profile != "" {
+		f, err := os.Create(profile)
+		if err != nil {
+			fmt.Fprintf(errw, "creating profile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(errw, "starting profile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	benchCtx = nil
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		defer cancel()
 		benchCtx = ctx
 	}
-	ok := false
+
+	matched := false
+	failed := false
 	run := func(name string, f func()) {
-		if *expFlag == "all" || *expFlag == name {
-			if err := runExperiment(f); err != nil {
-				fmt.Fprintf(os.Stderr, "\nexperiment %s aborted: %v\n", name, err)
-				os.Exit(1)
-			}
-			ok = true
+		if failed || (expFlag != "all" && expFlag != name) {
+			return
+		}
+		matched = true
+		if err := runExperiment(f); err != nil {
+			fmt.Fprintf(errw, "\nexperiment %s aborted: %v\n", name, err)
+			failed = true
 		}
 	}
 	run("t11", table11)
@@ -118,21 +208,40 @@ func main() {
 	run("app2", app2)
 	run("app3", app3)
 	run("app4", app4)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
-		os.Exit(2)
+	if failed {
+		return 1
+	}
+	if !matched {
+		fmt.Fprintf(errw, "unknown experiment %q\n", expFlag)
+		return 2
 	}
 	if collector != nil {
-		if err := writeTrace(collector, *traceFlag); err != nil {
-			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
-			os.Exit(1)
+		if err := writeTrace(collector, traceFlag); err != nil {
+			fmt.Fprintf(errw, "writing trace: %v\n", err)
+			return 1
 		}
 	}
 	if injector != nil {
 		s := injector.Stats()
-		fmt.Printf("\ninjected faults recovered: %d stalls, %d drops, %d garbles, %d timeouts\n",
+		printf("\ninjected faults recovered: %d stalls, %d drops, %d garbles, %d timeouts\n",
 			s.Stalls, s.Drops, s.Garbles, s.Timeouts)
 	}
+	if observer != nil {
+		if metricsOn {
+			printf("\nobservability counters (expvar %q):\n", "monge_obs")
+			if err := observer.WriteTable(out); err != nil {
+				fmt.Fprintf(errw, "writing metrics table: %v\n", err)
+				return 1
+			}
+		}
+		if traceOut != "" {
+			if err := writeChromeTrace(observer, traceOut); err != nil {
+				fmt.Fprintf(errw, "writing chrome trace: %v\n", err)
+				return 1
+			}
+		}
+	}
+	return 0
 }
 
 // runExperiment executes one experiment, converting a thrown typed
@@ -148,13 +257,37 @@ func runExperiment(f func()) (err error) {
 // writeTrace dumps the collector's aggregates to path ("-" = stdout).
 func writeTrace(c *exec.Collector, path string) error {
 	if path == "-" {
-		return c.WriteJSON(os.Stdout)
+		return c.WriteJSON(out)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	if err := c.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeChromeTrace dumps the observer's span log in Chrome trace_event
+// format to path ("-" = stdout).
+func writeChromeTrace(o *obs.Observer, path string) error {
+	tr := o.Tracer()
+	if tr == nil {
+		return nil
+	}
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(errw, "trace buffer full: %d spans dropped\n", d)
+	}
+	if path == "-" {
+		return tr.WriteChromeTrace(out)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -175,38 +308,38 @@ func sizes(limit int) []int {
 func lg(n int) float64 { return float64(pram.Log2Ceil(n)) }
 
 func header(title, claim string) {
-	fmt.Printf("\n== %s ==\n   paper claim: %s\n", title, claim)
-	fmt.Printf("%8s %12s %12s %14s %12s\n", "n", "time", "procs", "work", "time/bound")
+	printf("\n== %s ==\n   paper claim: %s\n", title, claim)
+	printf("%8s %12s %12s %14s %12s\n", "n", "time", "procs", "work", "time/bound")
 }
 
 func table11() {
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(seed))
 	header("Table 1.1 row 1: CRCW row maxima, n x n Monge", "O(lg n) time, n processors")
-	for _, n := range sizes(*maxN) {
+	for _, n := range sizes(maxN) {
 		a := marray.RandomMonge(rng, n, n)
 		mach := newPRAM(pram.CRCW, n)
 		core.MongeRowMaxima(mach, a)
-		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Procs(), mach.Work(), float64(mach.Time())/lg(n))
+		printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Procs(), mach.Work(), float64(mach.Time())/lg(n))
 	}
 	header("Table 1.1 row 2: CREW row maxima, n x n Monge", "O(lg n lglg n) time, n/lglg n processors")
-	for _, n := range sizes(*maxN) {
+	for _, n := range sizes(maxN) {
 		a := marray.RandomMonge(rng, n, n)
 		p := n / pram.LogLog2Ceil(n)
 		mach := newPRAM(pram.CREW, p)
 		core.MongeRowMaxima(mach, a)
 		bound := lg(n) * float64(pram.LogLog2Ceil(n))
-		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), p, mach.Work(), float64(mach.Time())/bound)
+		printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), p, mach.Work(), float64(mach.Time())/bound)
 	}
 	header("Table 1.1 row 3: hypercube / CCC / shuffle-exchange row maxima (Thm 3.2)",
 		"O(lg n lglg n) time, n/lglg n processors (we size machines at O(n); time is the reproduced claim)")
 	for _, kind := range []hc.Kind{hc.Cube, hc.CCC, hc.Shuffle} {
-		for _, n := range sizes(min(*maxN, 1024)) {
+		for _, n := range sizes(min(maxN, 1024)) {
 			a := marray.RandomMonge(rng, n, n)
 			v, w := idxVec(n), idxVec(n)
 			mach := tuned(hcmonge.MachineFor(kind, n, n))
 			hcmonge.MongeRowMaximaOn(mach, v, w, func(i, j int) float64 { return a.At(i, j) })
 			bound := lg(n) * float64(pram.LogLog2Ceil(n))
-			fmt.Printf("%8d %12d %12d %14d %12.1f  (%s)\n", n, mach.Time(), mach.Size(), mach.Work(),
+			printf("%8d %12d %12d %14d %12.1f  (%s)\n", n, mach.Time(), mach.Size(), mach.Work(),
 				float64(mach.Time())/bound, kind)
 		}
 	}
@@ -221,26 +354,26 @@ func idxVec(n int) []int {
 }
 
 func table12() {
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(seed))
 	header("Table 1.2 row 1: CRCW staircase row minima (Thm 2.3)", "O(lg n) time, n processors")
-	for _, n := range sizes(*maxN) {
+	for _, n := range sizes(maxN) {
 		a := marray.RandomStaircaseMonge(rng, n, n)
 		mach := newPRAM(pram.CRCW, n)
 		core.StaircaseRowMinima(mach, a)
-		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), n, mach.Work(), float64(mach.Time())/lg(n))
+		printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), n, mach.Work(), float64(mach.Time())/lg(n))
 	}
 	header("Table 1.2 row 2: CREW staircase row minima (Thm 2.3)", "O(lg n lglg n) time, n/lglg n processors")
-	for _, n := range sizes(*maxN) {
+	for _, n := range sizes(maxN) {
 		a := marray.RandomStaircaseMonge(rng, n, n)
 		p := n / pram.LogLog2Ceil(n)
 		mach := newPRAM(pram.CREW, p)
 		core.StaircaseRowMinima(mach, a)
 		bound := lg(n) * float64(pram.LogLog2Ceil(n))
-		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), p, mach.Work(), float64(mach.Time())/bound)
+		printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), p, mach.Work(), float64(mach.Time())/bound)
 	}
 	header("Table 1.2 row 3: hypercube staircase row minima (Thm 3.3)",
 		"O(lg n lglg n) time (proof omitted in the paper; see EXPERIMENTS.md)")
-	for _, n := range sizes(min(*maxN, 1024)) {
+	for _, n := range sizes(min(maxN, 1024)) {
 		a := marray.RandomStaircaseMonge(rng, n, n)
 		bounds := make([]int, n)
 		for i := 0; i < n; i++ {
@@ -250,43 +383,43 @@ func table12() {
 		mach := tuned(hcmonge.MachineFor(hc.Cube, n, n))
 		hcmonge.StaircaseRowMinimaOn(mach, v, bounds, w, func(i, j int) float64 { return a.At(i, j) })
 		bound := lg(n) * float64(pram.LogLog2Ceil(n))
-		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Size(), mach.Work(),
+		printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Size(), mach.Work(),
 			float64(mach.Time())/bound)
 	}
 }
 
 func table13() {
-	rng := rand.New(rand.NewSource(*seed))
-	limit := min(*maxN, 256)
+	rng := rand.New(rand.NewSource(seed))
+	limit := min(maxN, 256)
 	header("Table 1.3 row 1: CRCW tube maxima",
 		"Theta(lglg n) time, n^2/lglg n procs [Ata89] -- our substitute measures O(lg n); deviation documented")
 	for _, n := range sizes(limit) {
 		c := marray.RandomComposite(rng, n, n, n)
 		mach := newPRAM(pram.CRCW, 2*n*n)
 		core.TubeMaxima(mach, c)
-		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), 2*n*n, mach.Work(), float64(mach.Time())/lg(n))
+		printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), 2*n*n, mach.Work(), float64(mach.Time())/lg(n))
 	}
 	header("Table 1.3 row 2: CREW tube maxima", "Theta(lg n) time, n^2/lg n processors (ours: n*(q+r) groups)")
 	for _, n := range sizes(limit) {
 		c := marray.RandomComposite(rng, n, n, n)
 		mach := newPRAM(pram.CREW, 2*n*n)
 		core.TubeMaxima(mach, c)
-		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), 2*n*n, mach.Work(), float64(mach.Time())/lg(n))
+		printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), 2*n*n, mach.Work(), float64(mach.Time())/lg(n))
 	}
 	header("Table 1.3 row 3: hypercube tube maxima (Thm 3.4)", "Theta(lg n) time, n^2 processors")
 	for _, n := range sizes(min(limit, 128)) {
 		c := marray.RandomComposite(rng, n, n, n)
 		mach := tuned(hcmonge.TubeMachineFor(hc.Cube, c))
 		hcmonge.TubeMaximaOn(mach, c)
-		fmt.Printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Size(), mach.Work(), float64(mach.Time())/lg(n))
+		printf("%8d %12d %12d %14d %12.1f\n", n, mach.Time(), mach.Size(), mach.Work(), float64(mach.Time())/lg(n))
 	}
 }
 
 func figure11() {
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(seed))
 	header("Figure 1.1: all-farthest neighbors across a split convex polygon",
 		"Theta(m+n) sequential via row maxima; O(lg n) CRCW")
-	for _, n := range sizes(*maxN) {
+	for _, n := range sizes(maxN) {
 		p, q := marray.ConvexChainPair(rng, n, n)
 		start := time.Now()
 		smawkIdx := geom.AllFarthestNeighbors(p, q)
@@ -302,17 +435,17 @@ func figure11() {
 		}
 		mach := newPRAM(pram.CRCW, 2*n)
 		geom.AllFarthestNeighborsPRAM(mach, p, q)
-		fmt.Printf("%8d  smawk %10v  brute %10v  speedup %6.1fx  CRCW time %5d (t/lg n %.1f)  agree %d/%d\n",
+		printf("%8d  smawk %10v  brute %10v  speedup %6.1fx  CRCW time %5d (t/lg n %.1f)  agree %d/%d\n",
 			n, seqT, bruteT, float64(bruteT)/float64(seqT), mach.Time(), float64(mach.Time())/lg(n), agree, n)
 	}
 }
 
 func app1() {
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(seed))
 	header("Application 1: largest empty rectangle",
 		"paper: O(lg^2 n) CRCW with n lg n procs; ours: exact O(n^2) sequential + O(lg n) anchored families via ANSV")
 	bounds := rect.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000}
-	for _, n := range sizes(min(*maxN, 1024)) {
+	for _, n := range sizes(min(maxN, 1024)) {
 		pts := make([]rect.Point, n)
 		for i := range pts {
 			pts[i] = rect.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
@@ -322,16 +455,16 @@ func app1() {
 		seqT := time.Since(start)
 		mach := newPRAM(pram.CRCW, n)
 		anch := rect.LargestAnchoredRect(mach, pts, bounds)
-		fmt.Printf("%8d  exact area %12.1f (%8v)   anchored area %12.1f  CRCW time %5d (t/lg n %.1f)\n",
+		printf("%8d  exact area %12.1f (%8v)   anchored area %12.1f  CRCW time %5d (t/lg n %.1f)\n",
 			n, full.Area(), seqT, anch.Area(), mach.Time(), float64(mach.Time())/lg(n))
 	}
 }
 
 func app2() {
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(seed))
 	header("Application 2: largest-area two-corner rectangle (Melville)",
 		"Theta(lg n) CRCW time, n processors")
-	for _, n := range sizes(*maxN) {
+	for _, n := range sizes(maxN) {
 		pts := make([]rect.Point, n)
 		for i := range pts {
 			pts[i] = rect.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
@@ -345,34 +478,34 @@ func app2() {
 		if area != parea {
 			match = "MISMATCH"
 		}
-		fmt.Printf("%8d  area %14.1f  seq %10v  CRCW time %5d (t/lg n %5.1f)  %s\n",
+		printf("%8d  area %14.1f  seq %10v  CRCW time %5d (t/lg n %5.1f)  %s\n",
 			n, area, seqT, mach.Time(), float64(mach.Time())/lg(n), match)
 	}
 }
 
 func app3() {
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(seed))
 	header("Application 3: nearest/farthest (in)visible neighbors",
 		"O(lg(m+n)) CRCW; invisible cases via staircase-Monge row minima (Thm 2.3)")
-	for _, n := range sizes(min(*maxN, 1024)) {
+	for _, n := range sizes(min(maxN, 1024)) {
 		p, q, ob := geom.ObstructedChains(rng, n, n)
-		obs := []geom.Polygon{ob}
+		obstacles := []geom.Polygon{ob}
 		for _, kind := range []geom.NeighborKind{geom.NearestInvisible, geom.FarthestInvisible} {
 			mach := newPRAM(pram.CRCW, 2*n)
-			res := geom.Neighbors(kind, mach, p, q, obs)
-			fmt.Printf("%8d  %-19s CRCW time %6d (t/lg n %6.1f)  staircase rows %5d, fallback %4d\n",
+			res := geom.Neighbors(kind, mach, p, q, obstacles)
+			printf("%8d  %-19s CRCW time %6d (t/lg n %6.1f)  staircase rows %5d, fallback %4d\n",
 				n, kind, mach.Time(), float64(mach.Time())/lg(n), res.StaircaseRows, res.FallbackRows)
 		}
 	}
 }
 
 func app4() {
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(seed))
 	header("Application 4: string editing",
 		"O(lg n lg m) time, nm-processor hypercube (vs wavefront baseline O(n+m))")
 	c := stredit.UnitCosts()
 	alphabet := 4
-	for _, n := range sizes(min(*maxN, 256)) {
+	for _, n := range sizes(min(maxN, 256)) {
 		x := randStr(rng, n, alphabet)
 		y := randStr(rng, n, alphabet)
 		start := time.Now()
@@ -387,20 +520,20 @@ func app4() {
 			match = "MISMATCH"
 		}
 		bound := lg(n) * lg(n)
-		fmt.Printf("%8d  dist %6.0f  DP %8v  monge PRAM time %7d (t/lg^2 %5.1f)  wavefront time %7d  %s\n",
+		printf("%8d  dist %6.0f  DP %8v  monge PRAM time %7d (t/lg^2 %5.1f)  wavefront time %7d  %s\n",
 			n, want, dpT, m1.Time(), float64(m1.Time())/bound, m2.Time(), match)
 	}
-	fmt.Println("   hypercube engine (Theorem 3.4 machinery):")
-	for _, n := range sizes(min(*maxN, 64)) {
+	printf("   hypercube engine (Theorem 3.4 machinery):\n")
+	for _, n := range sizes(min(maxN, 64)) {
 		x := randStr(rng, n, alphabet)
 		y := randStr(rng, n, alphabet)
-		d, rep := stredit.DistanceHypercube(hc.Cube, x, y, c)
+		d, rep := stredit.DistanceHypercubeCtx(benchCtx, hc.Cube, x, y, c)
 		want := stredit.Distance(x, y, c)
 		match := "ok"
 		if d != want {
 			match = "MISMATCH"
 		}
-		fmt.Printf("%8d  dist %6.0f  hypercube time %8d (t/lg^2 %6.1f)  %s\n",
+		printf("%8d  dist %6.0f  hypercube time %8d (t/lg^2 %6.1f)  %s\n",
 			n, d, rep.Time, float64(rep.Time)/(lg(n)*lg(n)), match)
 	}
 }

@@ -1,0 +1,173 @@
+package checkbounds
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the measured report as the markdown tables committed
+// in EXPERIMENTS.md and parses them back, so the golden test at the
+// repository root can machine-check the documented numbers against a
+// fresh measurement. Render and Parse are exact inverses over the row,
+// model, and t(n) cells.
+
+// tableTitles names the table sections in the rendered markdown.
+var tableTitles = map[string]string{
+	"1.1": "row maxima of an n x n Monge array",
+	"1.2": "row minima of an n x n staircase-Monge array",
+	"1.3": "tube maxima of an n x n x n Monge-composite array",
+}
+
+// RenderMarkdown writes the report as one markdown section per table:
+// a "### Table X — title" heading followed by a table with row, model,
+// claim, one t(n=...) column per ladder size, and the flatness ratio.
+func RenderMarkdown(w io.Writer, rep Report) error {
+	byTable := make(map[string][]Result)
+	var order []string
+	for _, r := range rep.Rows {
+		if _, seen := byTable[r.Table]; !seen {
+			order = append(order, r.Table)
+		}
+		byTable[r.Table] = append(byTable[r.Table], r)
+	}
+	for ti, id := range order {
+		rows := byTable[id]
+		sizeSet := map[int]bool{}
+		for _, r := range rows {
+			for _, p := range r.Points {
+				sizeSet[p.N] = true
+			}
+		}
+		sizes := make([]int, 0, len(sizeSet))
+		for n := range sizeSet {
+			sizes = append(sizes, n)
+		}
+		sort.Ints(sizes)
+
+		if ti > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "### Table %s — %s\n\n", id, tableTitles[id])
+		fmt.Fprint(w, "| row | model | claim |")
+		for _, n := range sizes {
+			fmt.Fprintf(w, " t(n=%d) |", n)
+		}
+		fmt.Fprintln(w, " flatness |")
+		fmt.Fprint(w, "|----:|:------|:------|")
+		for range sizes {
+			fmt.Fprint(w, "-------:|")
+		}
+		fmt.Fprintln(w, "---------:|")
+		for _, r := range rows {
+			byN := make(map[int]int64, len(r.Points))
+			for _, p := range r.Points {
+				byN[p.N] = p.Time
+			}
+			fmt.Fprintf(w, "| %d | %s | %s |", r.Row, r.Model, r.Claim)
+			for _, n := range sizes {
+				if t, ok := byN[n]; ok {
+					fmt.Fprintf(w, " %d |", t)
+				} else {
+					fmt.Fprint(w, " — |")
+				}
+			}
+			fmt.Fprintf(w, " %.2f |\n", r.Flatness)
+		}
+	}
+	return nil
+}
+
+// GoldenRow is one documented table row parsed back out of
+// EXPERIMENTS.md: the charged times keyed by problem size.
+type GoldenRow struct {
+	Table string
+	Row   int
+	Model string
+	Times map[int]int64
+}
+
+var (
+	tableHeadRe = regexp.MustCompile(`^###\s+Table\s+(\d+\.\d+)`)
+	sizeColRe   = regexp.MustCompile(`^t\(n=(\d+)\)$`)
+)
+
+// ParseExperiments scans a markdown document for the tables
+// RenderMarkdown emits and returns every data row. Rows whose time cells
+// are not integers (em-dash placeholders) omit those sizes.
+func ParseExperiments(r io.Reader) ([]GoldenRow, error) {
+	var out []GoldenRow
+	var table string
+	var sizeByCol map[int]int // header cell index -> n
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if m := tableHeadRe.FindStringSubmatch(line); m != nil {
+			table = m[1]
+			sizeByCol = nil
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Any other heading ends the current table section, so
+			// unrelated numeric tables elsewhere in the document are
+			// never misattributed to a checkbounds table.
+			table = ""
+			sizeByCol = nil
+			continue
+		}
+		if table == "" || !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := splitCells(line)
+		if len(cells) == 0 {
+			continue
+		}
+		if cells[0] == "row" {
+			sizeByCol = map[int]int{}
+			for i, c := range cells {
+				if m := sizeColRe.FindStringSubmatch(c); m != nil {
+					n, _ := strconv.Atoi(m[1])
+					sizeByCol[i] = n
+				}
+			}
+			continue
+		}
+		if sizeByCol == nil {
+			continue
+		}
+		rowNum, err := strconv.Atoi(cells[0])
+		if err != nil {
+			continue // separator or prose line
+		}
+		if len(cells) < 2 {
+			return nil, fmt.Errorf("checkbounds: malformed table row %q", line)
+		}
+		g := GoldenRow{Table: table, Row: rowNum, Model: cells[1], Times: map[int]int64{}}
+		for i, n := range sizeByCol {
+			if i >= len(cells) {
+				continue
+			}
+			if t, err := strconv.ParseInt(cells[i], 10, 64); err == nil {
+				g.Times[n] = t
+			}
+		}
+		out = append(out, g)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func splitCells(line string) []string {
+	parts := strings.Split(strings.Trim(line, "|"), "|")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}

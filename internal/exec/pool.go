@@ -56,6 +56,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"monge/internal/obs"
 )
 
 const (
@@ -283,6 +285,20 @@ publish:
 	p.mu.RUnlock()
 }
 
+// countLoop folds one dispatched loop into the process-wide observer's
+// "exec.pool" site, when one is installed. The disabled path is a single
+// atomic pointer load.
+func countLoop(chunks int) {
+	if o := obs.Global(); o != nil {
+		c := o.Pool()
+		c.PoolLoops.Add(1)
+		c.PoolChunks.Add(int64(chunks))
+		if chunks == 1 {
+			c.PoolInline.Add(1)
+		}
+	}
+}
+
 // For executes body(0..n-1) on the pool and returns the number of chunks
 // the loop was cut into (1 when it ran inline). The calling goroutine
 // always participates, so a loop completes even if every worker is busy;
@@ -297,6 +313,7 @@ func (p *Pool) For(n int, body func(i int)) int {
 		for i := 0; i < n; i++ {
 			body(i)
 		}
+		countLoop(1)
 		return 1
 	}
 	size, count := ChunkBounds(n)
@@ -305,6 +322,7 @@ func (p *Pool) For(n int, body func(i int)) int {
 		for i := 0; i < n; i++ {
 			body(i)
 		}
+		countLoop(1)
 		return 1
 	}
 
@@ -315,6 +333,7 @@ func (p *Pool) For(n int, body func(i int)) int {
 	p.publish(j, count)
 	j.run()
 	wg.Wait()
+	countLoop(count)
 	return count
 }
 
@@ -370,6 +389,7 @@ func (p *Pool) Run(l Loop) (RunResult, error) {
 	}
 	j.runCtx(l.Ctx)
 	wg.Wait()
+	countLoop(count)
 	res := RunResult{Chunks: count, Stalls: atomic.LoadInt64(&stalls)}
 	if abort.Load() {
 		return res, l.Ctx.Err()

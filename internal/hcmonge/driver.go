@@ -3,7 +3,20 @@ package hcmonge
 import (
 	hc "monge/internal/hypercube"
 	"monge/internal/merr"
+	"monge/internal/obs"
 )
+
+// countSearch bumps the driver-level Searches counter of the "hcmonge"
+// observability site and opens a span named after the entry point on the
+// machine's tracer; callers defer the returned closer around the whole
+// search so the trace shows one algorithm-phase lane above the per-step
+// machine lanes.
+func countSearch(mach *hc.Machine, name string) func() {
+	if o := obs.Global(); o != nil {
+		o.Site("hcmonge").Searches.Add(1)
+	}
+	return mach.TraceSpan("hcmonge", name)
+}
 
 // EntryFunc evaluates one array entry from a row input and a column input,
 // the O(1) evaluation the paper's distributed input model assumes.
@@ -96,6 +109,7 @@ func searchOn[V, W any](mach *hc.Machine, v []V, w []W, f EntryFunc[V, W], maxim
 func searchVW[V, W any](mach *hc.Machine, v []V, w []W, f EntryFunc[V, W], tieRight bool, colID func(j int) int) []int {
 	m, n := len(v), len(w)
 	checkDim(mach, m, n)
+	defer countSearch(mach, "search")()
 	out := make([]int, m)
 	if m == 0 || n == 0 {
 		return out

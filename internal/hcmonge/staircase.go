@@ -67,6 +67,7 @@ func StaircaseRowMinima[V, W any](kind hc.Kind, v []V, bound []int, w []W, f Ent
 func StaircaseRowMinimaOn[V, W any](mach *hc.Machine, v []V, bound []int, w []W, f EntryFunc[V, W]) []int {
 	m, n := len(v), len(w)
 	checkDim(mach, m, n)
+	defer countSearch(mach, "staircase")()
 	out := make([]int, m)
 	if m == 0 || n == 0 {
 		for i := range out {

@@ -70,6 +70,7 @@ func tubeSearchOn(parent *hc.Machine, c marray.Composite, maxima bool) ([][]int,
 			"hcmonge: tube search needs a %d-dimensional machine, have %d dimensions",
 			subDim+lgP, parent.Dim())
 	}
+	defer countSearch(parent, "tube")()
 	argJ := make([][]int, p)
 	vals := make([][]float64, p)
 	dims := make([]int, p)

@@ -42,10 +42,12 @@ package hypercube
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"monge/internal/exec"
 	"monge/internal/faults"
 	"monge/internal/merr"
+	"monge/internal/obs"
 )
 
 // Kind selects the interconnection network being simulated.
@@ -99,6 +101,12 @@ type Machine struct {
 	pool    *exec.Pool
 	ownPool bool
 	sink    exec.Sink
+	// obsC and tracer are the observability handles (nil when the layer
+	// is off): obsC is the counter site named after the network kind,
+	// tracer records one wall-clock span per charged step. Captured from
+	// obs.Global at creation; children inherit both.
+	obsC   *obs.Counters
+	tracer *obs.Tracer
 
 	// stepID numbers the charged steps for the fault injector's hash keys.
 	stepID int64
@@ -116,10 +124,15 @@ func New(kind Kind, d int) *Machine {
 	if d < 0 {
 		merr.Throwf(merr.ErrDimensionMismatch, "hypercube: negative dimension %d", d)
 	}
-	return &Machine{
+	m := &Machine{
 		kind: kind, d: d, n: 1 << d,
 		pool: exec.Default(), sink: exec.GlobalSink(), faults: faults.Global(),
 	}
+	if o := obs.Global(); o != nil {
+		m.obsC = o.Site(kind.String())
+		m.tracer = o.Tracer()
+	}
+	return m
 }
 
 // child returns a machine for a recursive subproblem: the given kind and
@@ -129,6 +142,8 @@ func (m *Machine) child(kind Kind, d int) *Machine {
 	sub := New(kind, d)
 	sub.pool = m.pool
 	sub.sink = m.sink
+	sub.obsC = m.obsC
+	sub.tracer = m.tracer
 	sub.ctx = m.ctx
 	sub.faults = m.faults
 	return sub
@@ -153,6 +168,28 @@ func (m *Machine) Workers() int { return m.pool.Workers() }
 // SetSink attaches an instrumentation sink receiving one record per
 // charged step (nil detaches). Subcubes and ParallelDo children inherit it.
 func (m *Machine) SetSink(s exec.Sink) { m.sink = s }
+
+// SetObserver attaches the machine to an observability layer: the
+// counter site named after its network kind and, if tracing is enabled
+// on o, the span tracer (nil detaches both). Children inherit the
+// handles.
+func (m *Machine) SetObserver(o *obs.Observer) {
+	m.obsC = o.Site(m.kind.String())
+	m.tracer = o.Tracer()
+}
+
+// TraceSpan opens a driver-level span (an algorithm phase such as
+// "RowMinima") on the machine's tracer and returns its closer; callers
+// use `defer mach.TraceSpan("hcmonge", "RowMinima")()`. A no-op closure
+// is returned when tracing is off.
+func (m *Machine) TraceSpan(site, name string) func() {
+	tr := m.tracer
+	if tr == nil {
+		return func() {}
+	}
+	t0 := tr.Begin()
+	return func() { tr.End(site, name, t0, 0, 0, 0) }
+}
 
 // SetContext attaches a context polled at every charged step: once it is
 // cancelled the next step throws merr.ErrCanceled (also matching the
@@ -201,6 +238,9 @@ func (m *Machine) dispatch(n int, body func(p int)) int {
 		}
 		m.time += res.Stalls
 		m.local += int64(size) * res.Stalls
+		if c := m.obsC; c != nil {
+			c.FaultStalls.Add(res.Stalls)
+		}
 	}
 	return res.Chunks
 }
@@ -216,10 +256,12 @@ func (m *Machine) linkFaultCharge() {
 	if !m.faults.Enabled() {
 		return
 	}
-	var extra int64
+	var extra, dropsTot, garblesTot int64
 	maxRetry := 0
 	for p := 0; p < m.n; p++ {
 		drops, garbles := m.faults.LinkFaults(m.stepID, p)
+		dropsTot += int64(drops)
+		garblesTot += int64(garbles)
 		if r := drops + garbles; r > 0 {
 			extra += int64(r)
 			if r > maxRetry {
@@ -229,6 +271,13 @@ func (m *Machine) linkFaultCharge() {
 	}
 	m.comm += extra
 	m.time += faults.BackoffTime(maxRetry)
+	if c := m.obsC; c != nil && extra > 0 {
+		c.FaultDrops.Add(dropsTot)
+		c.FaultGarbles.Add(garblesTot)
+		// Retransmissions are extra traffic on the same links.
+		c.LinkMessages.Add(extra)
+		c.LinkBytes.Add(extra * obs.WordBytes)
+	}
 }
 
 // record emits one instrumentation record if a sink is attached.
@@ -236,6 +285,31 @@ func (m *Machine) record(op string, n, cost, chunks int) {
 	if m.sink != nil {
 		m.sink.Record(exec.StepStats{Model: m.kind.String(), Op: op, N: n, Cost: cost, Chunks: chunks})
 	}
+}
+
+// beginStep snapshots the charged counters and opens a wall-clock span
+// for one charged step; finishStep closes both and emits the sink
+// record. Every charge between the two calls — emulation rotations,
+// stall recoveries, timeout re-runs, link backoff — lands in the step's
+// ChargedTime/ChargedWork delta.
+func (m *Machine) beginStep() (timeBefore, workBefore int64, spanStart time.Time) {
+	if m.tracer != nil {
+		spanStart = m.tracer.Begin()
+	}
+	return m.time, m.local, spanStart
+}
+
+func (m *Machine) finishStep(op string, n, cost, chunks int, timeBefore, workBefore int64, spanStart time.Time) {
+	if c := m.obsC; c != nil {
+		c.Supersteps.Add(1)
+		c.ChargedTime.Add(m.time - timeBefore)
+		c.ChargedWork.Add(m.local - workBefore)
+		c.PoolChunks.Add(int64(chunks))
+	}
+	if m.tracer != nil {
+		m.tracer.End(m.kind.String(), op, spanStart, n, cost, chunks)
+	}
+	m.record(op, n, cost, chunks)
 }
 
 // NewCube returns a hypercube with 2^d processors.
@@ -279,14 +353,18 @@ func (m *Machine) Local(cost int, body func(p int)) {
 	}
 	m.checkCtx()
 	m.stepID++
+	timeBefore, workBefore, spanStart := m.beginStep()
 	m.time += int64(cost)
 	m.local += int64(cost) * int64(m.n)
 	chunks := m.dispatch(m.n, body)
 	if t := m.faults.StepTimeouts(m.stepID); t > 0 {
 		m.time += int64(t) * int64(cost)
 		m.local += int64(t) * int64(cost) * int64(m.n)
+		if c := m.obsC; c != nil {
+			c.FaultTimeouts.Add(int64(t))
+		}
 	}
-	m.record("local", m.n, cost, chunks)
+	m.finishStep("local", m.n, cost, chunks, timeBefore, workBefore, spanStart)
 }
 
 // exchangeCharge accounts for one exchange over dimension dim under the
@@ -321,6 +399,10 @@ func (m *Machine) exchangeCharge(dim int) {
 		}
 	}
 	m.comm += int64(m.n)
+	if c := m.obsC; c != nil {
+		c.LinkMessages.Add(int64(m.n))
+		c.LinkBytes.Add(int64(m.n) * obs.WordBytes)
+	}
 	m.linkFaultCharge()
 }
 
@@ -412,13 +494,14 @@ func (v *Vec[T]) Snapshot() []T {
 // neighbour p XOR 2^dim held in v. One charged step (plus emulation
 // overhead on CCC / shuffle-exchange).
 func Exchange[T any](m *Machine, dim int, v *Vec[T]) *Vec[T] {
+	timeBefore, workBefore, spanStart := m.beginStep()
 	m.exchangeCharge(dim)
 	out := &Vec[T]{m: m, vals: make([]T, m.n)}
 	mask := 1 << dim
 	chunks := m.dispatch(m.n, func(p int) {
 		out.vals[p] = v.vals[p^mask]
 	})
-	m.record("exchange", m.n, 1, chunks)
+	m.finishStep("exchange", m.n, 1, chunks, timeBefore, workBefore, spanStart)
 	return out
 }
 
@@ -427,12 +510,13 @@ func Exchange[T any](m *Machine, dim int, v *Vec[T]) *Vec[T] {
 // decides what p retains. It is the building block of bitonic sorting. One
 // charged step.
 func CondSwap[T any](m *Machine, dim int, v *Vec[T], keep func(p int, mine, theirs T) T) {
+	timeBefore, workBefore, spanStart := m.beginStep()
 	m.exchangeCharge(dim)
 	mask := 1 << dim
 	next := make([]T, m.n)
 	chunks := m.dispatch(m.n, func(p int) {
 		next[p] = keep(p, v.vals[p], v.vals[p^mask])
 	})
-	m.record("exchange", m.n, 1, chunks)
+	m.finishStep("exchange", m.n, 1, chunks, timeBefore, workBefore, spanStart)
 	v.vals = next
 }

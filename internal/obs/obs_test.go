@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSiteRegistryAndSnapshot(t *testing.T) {
+	o := NewObserver()
+	c := o.Site("pram")
+	if c == nil {
+		t.Fatal("Site returned nil on a live observer")
+	}
+	if o.Site("pram") != c {
+		t.Fatal("Site is not cached per name")
+	}
+	c.Supersteps.Add(3)
+	c.SharedReads.Add(10)
+	c.ConflictsPriority.Add(2)
+	snap := o.Snapshot()
+	got := snap["pram"]
+	if got.Supersteps != 3 || got.SharedReads != 10 || got.ConflictsPriority != 2 {
+		t.Fatalf("snapshot = %+v, want supersteps=3 reads=10 priority=2", got)
+	}
+
+	var nilObs *Observer
+	if nilObs.Site("x") != nil || nilObs.Tracer() != nil {
+		t.Fatal("nil observer must hand out nil handles")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	o := NewObserver()
+	c := o.Site("pram")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.SharedReads.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.SharedReads.Load(); got != 8000 {
+		t.Fatalf("SharedReads = %d, want 8000", got)
+	}
+}
+
+func TestWriteJSONAndTable(t *testing.T) {
+	o := NewObserver()
+	o.Site("pram").Supersteps.Add(5)
+	o.Site("hypercube").LinkMessages.Add(7)
+	o.Site("hypercube").LinkBytes.Add(7 * WordBytes)
+
+	var buf bytes.Buffer
+	if err := o.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Sites map[string]CounterSnapshot `json:"sites"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v", err)
+	}
+	if doc.Sites["pram"].Supersteps != 5 || doc.Sites["hypercube"].LinkMessages != 7 {
+		t.Fatalf("JSON round-trip lost counters: %+v", doc.Sites)
+	}
+
+	buf.Reset()
+	if err := o.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"site", "supersteps", "link-msgs", "pram", "hypercube"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerSpansAndCap(t *testing.T) {
+	o := NewObserver()
+	tr := o.EnableTracing(2)
+	if o.EnableTracing(5) != tr {
+		t.Fatal("EnableTracing is not idempotent")
+	}
+	for i := 0; i < 3; i++ {
+		t0 := tr.Begin()
+		tr.End("pram", "step", t0, 128, 1, 4)
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want cap of 2", len(spans))
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", tr.Dropped())
+	}
+	s := spans[0]
+	if s.Site != "pram" || s.Name != "step" || s.N != 128 || s.Chunks != 4 {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Dur < 0 || s.Start < 0 {
+		t.Fatalf("negative span timing: %+v", s)
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	o := NewObserver()
+	tr := o.EnableTracing(0)
+	t0 := tr.Begin()
+	time.Sleep(time.Microsecond)
+	tr.End("pram", "step", t0, 64, 2, 1)
+	t0 = tr.Begin()
+	tr.End("hypercube", "exchange", t0, 32, 1, 1)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace is invalid JSON: %v", err)
+	}
+	// 2 thread_name metadata events + 2 complete events.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d trace events, want 4:\n%s", len(doc.TraceEvents), buf.String())
+	}
+	var metas, completes int
+	tids := map[string]float64{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			metas++
+		case "X":
+			completes++
+			tids[ev["cat"].(string)] = ev["tid"].(float64)
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if metas != 2 || completes != 2 {
+		t.Fatalf("metas=%d completes=%d, want 2/2", metas, completes)
+	}
+	if tids["pram"] == tids["hypercube"] {
+		t.Fatal("sites share a tid lane")
+	}
+}
+
+func TestGlobalObserverAndExpvar(t *testing.T) {
+	if Global() != nil {
+		t.Fatal("global observer must start nil")
+	}
+	o := NewObserver()
+	SetGlobal(o)
+	defer SetGlobal(nil)
+	if Global() != o {
+		t.Fatal("SetGlobal did not install")
+	}
+	if name := PublishExpvar(); name != "monge_obs" {
+		t.Fatalf("PublishExpvar = %q", name)
+	}
+	PublishExpvar() // idempotent
+	SetGlobal(nil)
+	if Global() != nil {
+		t.Fatal("SetGlobal(nil) did not detach")
+	}
+}

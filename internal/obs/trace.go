@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCap bounds the spans a tracer retains (about 64 bytes
+// each); spans past the cap are counted in Dropped instead of stored, so
+// a long run cannot exhaust memory while still reporting how much of its
+// tail is missing.
+const DefaultTraceCap = 1 << 20
+
+// Span is one traced superstep (or driver-level phase): where it ran,
+// what it was, when it started relative to the tracer's epoch, how long
+// it took in wall time, and the charged quantities of the step. Wall
+// time is real profiling data about the simulator itself; the charged
+// fields tie each span back to the cost model.
+type Span struct {
+	// Site is the emitting site ("pram", "hypercube", ..., "hcmonge").
+	Site string `json:"site"`
+	// Name is the step flavour ("step", "local", "exchange") or the
+	// driver phase ("RowMinima", "TubeMaxima", ...).
+	Name string `json:"name"`
+	// Start is the offset from the tracer's epoch; Dur is the wall-clock
+	// duration of the span.
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+	// N is the activated processor count, Cost the per-processor charge,
+	// Chunks the pool dispatch width (all zero on driver-phase spans).
+	N      int `json:"n,omitempty"`
+	Cost   int `json:"cost,omitempty"`
+	Chunks int `json:"chunks,omitempty"`
+}
+
+// Tracer collects spans. One tracer is shared by every machine of a run
+// (children inherit it), so the exported trace interleaves all sites on
+// a common clock. Safe for concurrent use; spans are recorded at step
+// barriers, never inside loop bodies.
+type Tracer struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	spans   []Span
+	cap     int
+	dropped int64
+}
+
+func newTracer(cap int) *Tracer {
+	if cap <= 0 {
+		cap = DefaultTraceCap
+	}
+	return &Tracer{epoch: time.Now(), cap: cap}
+}
+
+// Begin returns the span start time. It exists so call sites read
+// naturally (t0 := tr.Begin()); a nil tracer must be checked by the
+// caller before paying for the clock read.
+func (t *Tracer) Begin() time.Time { return time.Now() }
+
+// End records a span that started at t0 with the given identity and
+// charged quantities.
+func (t *Tracer) End(site, name string, t0 time.Time, n, cost, chunks int) {
+	now := time.Now()
+	s := Span{
+		Site: site, Name: name,
+		Start: t0.Sub(t.epoch), Dur: now.Sub(t0),
+		N: n, Cost: cost, Chunks: chunks,
+	}
+	t.mu.Lock()
+	if len(t.spans) < t.cap {
+		t.spans = append(t.spans, s)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	return out
+}
+
+// Dropped returns how many spans were discarded after the cap filled.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	d := t.dropped
+	t.mu.Unlock()
+	return d
+}
+
+// WriteJSON writes the raw span list as an indented JSON document:
+//
+//	{"spans": [{"site": ..., "name": ..., "start_ns": ..., ...}], "dropped": 0}
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	doc := struct {
+		Spans   []Span `json:"spans"`
+		Dropped int64  `json:"dropped"`
+	}{Spans: t.spans, Dropped: t.dropped}
+	defer t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome trace_event
+// format; timestamps and durations are microseconds as floats. Loadable
+// in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]int `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata ("ph":"M") event naming a thread lane.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChromeTrace writes the spans in Chrome trace_event JSON format
+// ({"traceEvents": [...]}), one thread lane per site, so the superstep
+// timeline of a run can be inspected in chrome://tracing or Perfetto.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	// One stable tid per site, in order of first appearance.
+	tids := map[string]int{}
+	var events []any
+	for _, s := range spans {
+		tid, ok := tids[s.Site]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.Site] = tid
+			events = append(events, chromeMeta{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]string{"name": s.Site},
+			})
+		}
+		ev := chromeEvent{
+			Name: s.Name, Cat: s.Site, Ph: "X",
+			Ts:  float64(s.Start) / float64(time.Microsecond),
+			Dur: float64(s.Dur) / float64(time.Microsecond),
+			Pid: 1, Tid: tid,
+		}
+		if s.N > 0 {
+			ev.Args = map[string]int{"n": s.N, "cost": s.Cost, "chunks": s.Chunks}
+		}
+		events = append(events, ev)
+	}
+	doc := struct {
+		TraceEvents []any  `json:"traceEvents"`
+		Unit        string `json:"displayTimeUnit"`
+	}{TraceEvents: events, Unit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

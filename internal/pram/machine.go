@@ -47,10 +47,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"monge/internal/exec"
 	"monge/internal/faults"
 	"monge/internal/merr"
+	"monge/internal/obs"
 )
 
 // Mode selects the memory access discipline of a Machine.
@@ -113,6 +115,12 @@ type Machine struct {
 	// sink, when non-nil, receives one instrumentation record per charged
 	// superstep. Child machines inherit it.
 	sink exec.Sink
+	// obsC and tracer are the machine's observability handles (nil when
+	// the layer is off): obsC is the "pram" counter site, tracer records
+	// one wall-clock span per charged superstep. Captured from the
+	// process-wide obs.Global at creation; child machines inherit both.
+	obsC   *obs.Counters
+	tracer *obs.Tracer
 
 	// ctx, when non-nil, is polled at superstep boundaries; cancellation
 	// throws merr.ErrCanceled. faults, when enabled, injects chunk stalls
@@ -154,10 +162,15 @@ func New(mode Mode, procs int) *Machine {
 	if procs < 1 {
 		procs = 1
 	}
-	return &Machine{
+	m := &Machine{
 		mode: mode, procs: procs,
 		pool: exec.Default(), sink: exec.GlobalSink(), faults: faults.Global(),
 	}
+	if o := obs.Global(); o != nil {
+		m.obsC = o.Site("pram")
+		m.tracer = o.Tracer()
+	}
+	return m
 }
 
 // child returns a machine for a ParallelDo branch: same mode, the given
@@ -168,6 +181,8 @@ func (m *Machine) child(procs int) *Machine {
 	sub := New(m.mode, procs)
 	sub.pool = m.pool
 	sub.sink = m.sink
+	sub.obsC = m.obsC
+	sub.tracer = m.tracer
 	sub.ctx = m.ctx
 	sub.faults = m.faults
 	return sub
@@ -191,6 +206,14 @@ func (m *Machine) Workers() int { return m.pool.Workers() }
 // SetSink attaches an instrumentation sink receiving one record per
 // charged superstep (nil detaches). ParallelDo children inherit it.
 func (m *Machine) SetSink(s exec.Sink) { m.sink = s }
+
+// SetObserver attaches the machine to an observability layer: its "pram"
+// counter site and, if tracing is enabled on o, its span tracer (nil
+// detaches both). ParallelDo children inherit the handles.
+func (m *Machine) SetObserver(o *obs.Observer) {
+	m.obsC = o.Site("pram")
+	m.tracer = o.Tracer()
+}
 
 // SetContext attaches a context polled at every superstep boundary: once
 // it is cancelled the next Step discards its buffered writes and throws
@@ -265,9 +288,15 @@ func (m *Machine) StepCost(n, cost int, body func(id int)) {
 	}
 	m.steps++
 	base := int64(cost) * int64((n+m.procs-1)/m.procs)
+	timeBefore, workBefore := m.time, m.work
 	m.time += base
 	m.work += int64(cost) * int64(n)
 	m.stepID++
+
+	var spanStart time.Time
+	if m.tracer != nil {
+		spanStart = m.tracer.Begin()
+	}
 
 	var chunks int
 	var stalls int64
@@ -301,6 +330,9 @@ func (m *Machine) StepCost(n, cost int, body func(id int)) {
 			if t := m.faults.StepTimeouts(m.stepID); t > 0 {
 				m.time += int64(t) * base
 				m.work += int64(t) * int64(cost) * int64(n)
+				if c := m.obsC; c != nil {
+					c.FaultTimeouts.Add(int64(t))
+				}
 			}
 		}
 	}
@@ -315,6 +347,19 @@ func (m *Machine) StepCost(n, cost int, body func(id int)) {
 	}
 	m.dirty = m.dirty[:0]
 
+	if c := m.obsC; c != nil {
+		c.Supersteps.Add(1)
+		c.ChargedTime.Add(m.time - timeBefore)
+		c.ChargedWork.Add(m.work - workBefore)
+		c.SharedWrites.Add(int64(writes))
+		c.PoolChunks.Add(int64(chunks))
+		if stalls > 0 {
+			c.FaultStalls.Add(stalls)
+		}
+	}
+	if m.tracer != nil {
+		m.tracer.End("pram", "step", spanStart, n, cost, chunks)
+	}
 	if m.sink != nil {
 		m.sink.Record(exec.StepStats{
 			Model: "pram", Op: "step",
@@ -382,8 +427,15 @@ func NewArray[T any](m *Machine, n int) *Array[T] {
 // Len returns the array length.
 func (a *Array[T]) Len() int { return len(a.vals) }
 
-// Read returns the committed value of cell i.
-func (a *Array[T]) Read(i int) T { return a.vals[i] }
+// Read returns the committed value of cell i. When an observer is
+// attached the read is counted as one shared-memory access; the disabled
+// path is a single nil check on a cached field.
+func (a *Array[T]) Read(i int) T {
+	if c := a.m.obsC; c != nil {
+		c.SharedReads.Add(1)
+	}
+	return a.vals[i]
+}
 
 // Write records a pending write of v to cell i by processor pid; it takes
 // effect at the end of the current step.
@@ -451,12 +503,25 @@ func (a *Array[T]) flush(m *Machine) (writes, maxShard int) {
 				// Later write by the same processor wins (program order
 				// within one processor is preserved by the shard slice).
 				a.vals[r.idx] = r.val
+				if c := m.obsC; c != nil {
+					c.ConflictsSamePid.Add(1)
+				}
 			case m.mode == CREW:
+				if c := m.obsC; c != nil {
+					c.ConflictsCREW.Add(1)
+				}
 				merr.Throw(&ConflictError{Index: r.idx, Pid1: cur, Pid2: r.pid})
-			case r.pid < cur:
-				// Priority CRCW: lowest pid wins.
-				a.owner[r.idx] = int32(r.pid)
-				a.vals[r.idx] = r.val
+			default:
+				// Priority CRCW: the resolution between distinct writers is
+				// counted whichever pid wins the cell.
+				if c := m.obsC; c != nil {
+					c.ConflictsPriority.Add(1)
+				}
+				if r.pid < cur {
+					// Lowest pid wins.
+					a.owner[r.idx] = int32(r.pid)
+					a.vals[r.idx] = r.val
+				}
 			}
 		}
 		s.recs = s.recs[:0]

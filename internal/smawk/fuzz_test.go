@@ -21,6 +21,7 @@ import (
 //
 //	go test ./internal/smawk -run='^$' -fuzz=FuzzSMAWKMatchesBrute -fuzztime=30s
 //	go test ./internal/smawk -run='^$' -fuzz=FuzzStaircaseRowMinima -fuzztime=30s
+//	go test ./internal/smawk -run='^$' -fuzz=FuzzTubeMaximaMatchesBrute -fuzztime=30s
 //
 // The committed corpora under testdata/fuzz keep the interesting shapes
 // (square, wide, tall, single row/column) replaying as plain tests.
@@ -68,6 +69,66 @@ func FuzzSMAWKMatchesBrute(f *testing.F) {
 			if i := diffIdx(InverseMongeRowMinima(inv), RowMinimaBrute(inv)); i >= 0 {
 				t.Fatalf("seed=%d %dx%d: InverseMongeRowMinima differs from brute at row %d", seed, m, n, i)
 			}
+		}
+	})
+}
+
+// fuzzTubeDim maps an arbitrary fuzzed int to a tube dimension in
+// [1, 24] — the brute oracle is O(p*q*r) per orientation.
+func fuzzTubeDim(x int) int {
+	if x < 0 {
+		x = -x
+	}
+	return x%24 + 1
+}
+
+func FuzzTubeMaximaMatchesBrute(f *testing.F) {
+	f.Add(int64(1), 6, 6, 6)
+	f.Add(int64(2), 1, 17, 3)
+	f.Add(int64(3), 24, 1, 24)
+	f.Add(int64(4), 5, 24, 1)
+	f.Add(int64(5), 2, 2, 2)
+	f.Fuzz(func(t *testing.T, seed int64, rawP, rawQ, rawR int) {
+		p, q, r := fuzzTubeDim(rawP), fuzzTubeDim(rawQ), fuzzTubeDim(rawR)
+		rng := rand.New(rand.NewSource(seed))
+		// Exact argJ equality against the first-optimum brute scan is the
+		// smallest-middle-coordinate tie check; the integer composites
+		// make ties constant rather than accidental.
+		check := func(what string, gotJ, wantJ [][]int, gotV, wantV [][]float64) {
+			t.Helper()
+			if !eq2D(gotJ, wantJ) {
+				t.Fatalf("seed=%d %dx%dx%d %s: argJ mismatch (tie must pick smallest j)\n got %v\nwant %v",
+					seed, p, q, r, what, gotJ, wantJ)
+			}
+			for i := range wantV {
+				for k := range wantV[i] {
+					if gotV[i][k] != wantV[i][k] {
+						t.Fatalf("seed=%d %dx%dx%d %s: value mismatch at (%d,%d)", seed, p, q, r, what, i, k)
+					}
+				}
+			}
+		}
+		for name, c := range map[string]marray.Composite{
+			"maxima/real": marray.RandomComposite(rng, p, q, r),
+			"maxima/int": marray.NewComposite(
+				marray.RandomMongeInt(rng, p, q, 3),
+				marray.RandomMongeInt(rng, q, r, 3)),
+		} {
+			gotJ, gotV := TubeMaxima(c)
+			wantJ, wantV := TubeMaximaBrute(c)
+			check(name, gotJ, wantJ, gotV, wantV)
+		}
+		for name, c := range map[string]marray.Composite{
+			"minima/real": marray.NewComposite(
+				marray.RandomInverseMonge(rng, p, q),
+				marray.RandomInverseMonge(rng, q, r)),
+			"minima/int": marray.NewComposite(
+				marray.Negate(marray.RandomMongeInt(rng, p, q, 3)),
+				marray.Negate(marray.RandomMongeInt(rng, q, r, 3))),
+		} {
+			gotJ, gotV := TubeMinima(c)
+			wantJ, wantV := TubeMinimaBrute(c)
+			check(name, gotJ, wantJ, gotV, wantV)
 		}
 	})
 }

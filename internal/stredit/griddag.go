@@ -1,6 +1,8 @@
 package stredit
 
 import (
+	"context"
+
 	"monge/internal/hcmonge"
 	hc "monge/internal/hypercube"
 	"monge/internal/marray"
@@ -132,6 +134,15 @@ type HypercubeReport struct {
 // running on simulated networks of the given kind (Theorem 3.4 machinery:
 // one Monge row-minima search per slice, each on its own subcube).
 func DistanceHypercube(kind hc.Kind, x, y string, c Costs) (float64, HypercubeReport) {
+	return DistanceHypercubeCtx(nil, kind, x, y, c)
+}
+
+// DistanceHypercubeCtx is DistanceHypercube with a context attached to
+// every simulated machine the combination tree creates: cancellation
+// (e.g. a caller deadline) throws merr.ErrCanceled at the next superstep
+// boundary instead of letting the run finish silently. A nil ctx runs
+// uncancellable.
+func DistanceHypercubeCtx(ctx context.Context, kind hc.Kind, x, y string, c Costs) (float64, HypercubeReport) {
 	xs, ys := []rune(x), []rune(y)
 	s, t := len(xs), len(ys)
 	var rep HypercubeReport
@@ -146,7 +157,7 @@ func DistanceHypercube(kind hc.Kind, x, y string, c Costs) (float64, HypercubeRe
 		next := make([]marray.Matrix, 0, (len(strips)+1)/2)
 		var levelTime int64
 		for p := 0; p+1 < len(strips); p += 2 {
-			dense, ct, cc := combineHC(kind, strips[p], strips[p+1])
+			dense, ct, cc := combineHC(ctx, kind, strips[p], strips[p+1])
 			next = append(next, dense)
 			if ct > levelTime {
 				levelTime = ct
@@ -165,7 +176,7 @@ func DistanceHypercube(kind hc.Kind, x, y string, c Costs) (float64, HypercubeRe
 // combineHC computes the (min,+) product with one hypercube row-minima
 // search per slice; the slices run simultaneously, so the charged time is
 // the slowest slice.
-func combineHC(kind hc.Kind, a, b marray.Matrix) (*marray.Dense, int64, int64) {
+func combineHC(ctx context.Context, kind hc.Kind, a, b marray.Matrix) (*marray.Dense, int64, int64) {
 	n := a.Rows()
 	out := marray.NewDense(n, n)
 	rows := make([]int, n)
@@ -175,7 +186,11 @@ func combineHC(kind hc.Kind, a, b marray.Matrix) (*marray.Dense, int64, int64) {
 	var maxTime, comm int64
 	for u := 0; u < n; u++ {
 		uu := u
-		idx, mach := hcmonge.RowMinima(kind, rows, rows, func(v, w int) float64 {
+		mach := hcmonge.MachineFor(kind, n, n)
+		if ctx != nil {
+			mach.SetContext(ctx)
+		}
+		idx := hcmonge.RowMinimaOn(mach, rows, rows, func(v, w int) float64 {
 			return a.At(uu, w) + b.At(w, v)
 		})
 		if mach.Time() > maxTime {
