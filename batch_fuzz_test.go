@@ -1,0 +1,60 @@
+package monge
+
+import (
+	"math/rand"
+	"testing"
+
+	"monge/internal/marray"
+)
+
+// FuzzBatchMatchesSingle drives the batched driver with mixed-shape,
+// tie-heavy workloads and checks every answer index-for-index against
+// the one-query-at-a-time facade path on a fresh machine. Index equality
+// (not value equality) is the point: machine reuse must not perturb the
+// leftmost tie-breaking rule.
+//
+// Run locally with
+//
+//	go test . -run='^$' -fuzz=FuzzBatchMatchesSingle -fuzztime=30s
+func FuzzBatchMatchesSingle(f *testing.F) {
+	f.Add(int64(1), 8, 8, 3)
+	f.Add(int64(2), 1, 33, 2)
+	f.Add(int64(3), 64, 5, 1)
+	f.Add(int64(4), 12, 40, 4)
+	f.Add(int64(5), 2, 1, 2)
+	f.Fuzz(func(t *testing.T, seed int64, rawM, rawN, rawK int) {
+		clamp := func(x, mod int) int {
+			if x < 0 {
+				x = -x
+			}
+			return x%mod + 1
+		}
+		m, n, k := clamp(rawM, 64), clamp(rawN, 64), clamp(rawK, 4)
+		rng := rand.New(rand.NewSource(seed))
+		var as []Matrix
+		for i := 0; i < k; i++ {
+			as = append(as, marray.RandomMonge(rng, m, n))
+			as = append(as, marray.RandomMongeInt(rng, m, n, 3))
+			// A second shape in the same batch exercises machine switching.
+			as = append(as, marray.RandomMongeInt(rng, n, m, 3))
+		}
+		d := NewBatchDriver(CRCW)
+		defer d.Close()
+		got, err := d.RowMinimaBatch(as)
+		if err != nil {
+			t.Fatalf("batch: %v", err)
+		}
+		for i, a := range as {
+			want, err := RowMinimaPRAM(NewPRAM(CRCW, a.Cols()), a)
+			if err != nil {
+				t.Fatalf("single query %d: %v", i, err)
+			}
+			for r := range want {
+				if got[i][r] != want[r] {
+					t.Fatalf("seed=%d query %d row %d: batch %d, single %d",
+						seed, i, r, got[i][r], want[r])
+				}
+			}
+		}
+	})
+}

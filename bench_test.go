@@ -50,6 +50,7 @@ func reportNetwork(b *testing.B, total int64, n int) {
 func BenchmarkTable11_CRCW(b *testing.B) {
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			a := marray.RandomMonge(rand.New(rand.NewSource(1)), n, n)
 			mach := pram.New(pram.CRCW, n)
 			b.ResetTimer()
@@ -64,6 +65,7 @@ func BenchmarkTable11_CRCW(b *testing.B) {
 func BenchmarkTable11_CREW(b *testing.B) {
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			a := marray.RandomMonge(rand.New(rand.NewSource(1)), n, n)
 			mach := pram.New(pram.CREW, n/pram.LogLog2Ceil(n))
 			b.ResetTimer()
@@ -79,6 +81,7 @@ func BenchmarkTable11_Hypercube(b *testing.B) {
 	for _, kind := range []hc.Kind{hc.Cube, hc.CCC, hc.Shuffle} {
 		for _, n := range []int{256, 512} {
 			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				b.ReportAllocs()
 				a := marray.RandomMonge(rand.New(rand.NewSource(1)), n, n)
 				v := idxVec(n)
 				var total int64
@@ -97,6 +100,7 @@ func BenchmarkTable11_Hypercube(b *testing.B) {
 func BenchmarkTable11_SMAWKSequential(b *testing.B) {
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			a := marray.RandomMonge(rand.New(rand.NewSource(1)), n, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -111,6 +115,7 @@ func BenchmarkTable11_SMAWKSequential(b *testing.B) {
 func BenchmarkTable12_CRCW(b *testing.B) {
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			a := marray.RandomStaircaseMonge(rand.New(rand.NewSource(2)), n, n)
 			mach := pram.New(pram.CRCW, n)
 			b.ResetTimer()
@@ -125,6 +130,7 @@ func BenchmarkTable12_CRCW(b *testing.B) {
 func BenchmarkTable12_CREW(b *testing.B) {
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			a := marray.RandomStaircaseMonge(rand.New(rand.NewSource(2)), n, n)
 			mach := pram.New(pram.CREW, n/pram.LogLog2Ceil(n))
 			b.ResetTimer()
@@ -139,6 +145,7 @@ func BenchmarkTable12_CREW(b *testing.B) {
 func BenchmarkTable12_Hypercube(b *testing.B) {
 	for _, n := range []int{256, 512} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(2))
 			a := marray.RandomStaircaseMonge(rng, n, n)
 			bounds := make([]int, n)
@@ -160,6 +167,7 @@ func BenchmarkTable12_Hypercube(b *testing.B) {
 func BenchmarkTable12_Sequential(b *testing.B) {
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			a := marray.RandomStaircaseMonge(rand.New(rand.NewSource(2)), n, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -174,6 +182,7 @@ func BenchmarkTable12_Sequential(b *testing.B) {
 func BenchmarkTable13_CRCW(b *testing.B) {
 	for _, n := range []int{64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			c := marray.RandomComposite(rand.New(rand.NewSource(3)), n, n, n)
 			mach := pram.New(pram.CRCW, 2*n*n)
 			b.ResetTimer()
@@ -188,6 +197,7 @@ func BenchmarkTable13_CRCW(b *testing.B) {
 func BenchmarkTable13_CREW(b *testing.B) {
 	for _, n := range []int{64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			c := marray.RandomComposite(rand.New(rand.NewSource(3)), n, n, n)
 			mach := pram.New(pram.CREW, 2*n*n)
 			b.ResetTimer()
@@ -202,6 +212,7 @@ func BenchmarkTable13_CREW(b *testing.B) {
 func BenchmarkTable13_Hypercube(b *testing.B) {
 	for _, n := range []int{32, 64} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			c := marray.RandomComposite(rand.New(rand.NewSource(3)), n, n, n)
 			var total int64
 			b.ResetTimer()
@@ -217,6 +228,7 @@ func BenchmarkTable13_Hypercube(b *testing.B) {
 func BenchmarkTable13_Sequential(b *testing.B) {
 	for _, n := range []int{64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			c := marray.RandomComposite(rand.New(rand.NewSource(3)), n, n, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -231,6 +243,7 @@ func BenchmarkTable13_Sequential(b *testing.B) {
 func BenchmarkFigure11_Farthest(b *testing.B) {
 	for _, n := range benchSizes {
 		b.Run(fmt.Sprintf("smawk/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			p, q := marray.ConvexChainPair(rand.New(rand.NewSource(4)), n, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -238,6 +251,7 @@ func BenchmarkFigure11_Farthest(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("brute/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			p, q := marray.ConvexChainPair(rand.New(rand.NewSource(4)), n, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -245,6 +259,7 @@ func BenchmarkFigure11_Farthest(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("crcw/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			p, q := marray.ConvexChainPair(rand.New(rand.NewSource(4)), n, n)
 			mach := pram.New(pram.CRCW, 2*n)
 			b.ResetTimer()
@@ -264,6 +279,7 @@ func BenchmarkFigure22_Decompose(b *testing.B) {
 	// alongside (the paper's allocation tool).
 	n := 1024
 	b.Run("ansv-parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		vals := make([]float64, n)
 		rng := rand.New(rand.NewSource(5))
 		for i := range vals {
@@ -279,6 +295,7 @@ func BenchmarkFigure22_Decompose(b *testing.B) {
 		reportMachine(b, mach, n)
 	})
 	b.Run("ansv-seq", func(b *testing.B) {
+		b.ReportAllocs()
 		vals := make([]float64, n)
 		rng := rand.New(rand.NewSource(5))
 		for i := range vals {
@@ -302,11 +319,13 @@ func BenchmarkApp1_EmptyRect(b *testing.B) {
 		}
 		bounds := rect.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000}
 		b.Run(fmt.Sprintf("exact-seq/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rect.LargestEmptyRect(pts, bounds)
 			}
 		})
 		b.Run(fmt.Sprintf("anchored-crcw/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			mach := pram.New(pram.CRCW, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -325,16 +344,19 @@ func BenchmarkApp2_MaxRect(b *testing.B) {
 			pts[i] = rect.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
 		}
 		b.Run(fmt.Sprintf("monge-seq/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rect.MaxCornerRect(pts)
 			}
 		})
 		b.Run(fmt.Sprintf("brute/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rect.MaxCornerRectBrute(pts)
 			}
 		})
 		b.Run(fmt.Sprintf("crcw/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			mach := pram.New(pram.CRCW, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -351,6 +373,7 @@ func BenchmarkApp3_Neighbors(b *testing.B) {
 		obs := []geom.Polygon{ob}
 		for _, kind := range []geom.NeighborKind{geom.NearestInvisible, geom.FarthestInvisible} {
 			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				b.ReportAllocs()
 				mach := pram.New(pram.CRCW, 2*n)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -360,6 +383,7 @@ func BenchmarkApp3_Neighbors(b *testing.B) {
 			})
 		}
 		b.Run(fmt.Sprintf("brute/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				geom.NeighborsBrute(geom.NearestInvisible, p, q, obs)
 			}
@@ -374,11 +398,13 @@ func BenchmarkApp4_StringEdit(b *testing.B) {
 		x := randStr(rng, n)
 		y := randStr(rng, n)
 		b.Run(fmt.Sprintf("wagner-fischer/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				stredit.Distance(x, y, c)
 			}
 		})
 		b.Run(fmt.Sprintf("monge-pram/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			mach := pram.New(pram.CRCW, n*n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -387,6 +413,7 @@ func BenchmarkApp4_StringEdit(b *testing.B) {
 			reportMachine(b, mach, n)
 		})
 		b.Run(fmt.Sprintf("wavefront-pram/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			mach := pram.New(pram.CRCW, n*n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -396,6 +423,7 @@ func BenchmarkApp4_StringEdit(b *testing.B) {
 		})
 	}
 	b.Run("hypercube/n=32", func(b *testing.B) {
+		b.ReportAllocs()
 		rng := rand.New(rand.NewSource(9))
 		x := randStr(rng, 32)
 		y := randStr(rng, 32)
@@ -423,11 +451,13 @@ func BenchmarkExtension_LWS(b *testing.B) {
 		return 3*d*d/float64(n) + node[i] // convex in the gap: Monge
 	}
 	b.Run("concave-stack", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			dp.LWS(n, w)
 		}
 	})
 	b.Run("quadratic", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			dp.LWSBrute(n, w)
 		}
@@ -450,6 +480,7 @@ func BenchmarkExtension_Transport(b *testing.B) {
 	}
 	c := marray.RandomMonge(rng, m, n)
 	b.Run("hoffman-greedy", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			transport.MustGreedy(a, bb, c)
 		}
@@ -481,9 +512,10 @@ func randStr(rng *rand.Rand, n int) string {
 // benchmark watches. Compare against BenchmarkStepLoop_* in internal/exec
 // for the isolated dispatch cost.
 func BenchmarkRuntime_RowMinimaWorkers(b *testing.B) {
-	for _, n := range []int{512, 1024} {
+	for _, n := range []int{512, 1024, 4096} {
 		for _, w := range []int{1, 4} {
 			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
 				a := marray.RandomMonge(rand.New(rand.NewSource(1)), n, n)
 				mach := pram.New(pram.CRCW, n)
 				mach.SetWorkers(w)
@@ -507,6 +539,7 @@ func BenchmarkAblation_LeafReduction(b *testing.B) {
 	a := marray.RandomMonge(rand.New(rand.NewSource(12)), n, n)
 	for _, mode := range []pram.Mode{pram.CRCW, pram.CREW} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			mach := pram.New(mode, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -530,6 +563,7 @@ func BenchmarkAblation_AllocationVsSort(b *testing.B) {
 		vals[i] = rng.Float64()
 	}
 	b.Run("prefix-scan-allocation", func(b *testing.B) {
+		b.ReportAllocs()
 		mach := pram.New(pram.CREW, n)
 		arr := pram.NewArray[float64](mach, n)
 		arr.Fill(vals)
@@ -540,6 +574,7 @@ func BenchmarkAblation_AllocationVsSort(b *testing.B) {
 		reportMachine(b, mach, n)
 	})
 	b.Run("bitonic-sort-allocation", func(b *testing.B) {
+		b.ReportAllocs()
 		mach := pram.New(pram.CREW, n)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -562,16 +597,24 @@ func BenchmarkAblation_AllocationVsSort(b *testing.B) {
 func BenchmarkRowMinima(b *testing.B) {
 	const n = 1024
 	a := marray.RandomMonge(rand.New(rand.NewSource(1)), n, n)
-	b.Run("faults=off", func(b *testing.B) {
-		mach := pram.New(pram.CRCW, n)
-		mach.SetFaults(nil)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			core.RowMinima(mach, a)
-		}
-		reportMachine(b, mach, n)
-	})
+	// faults=off also runs at n=4096: that is the allocation-profile row
+	// the scratch arenas are gated on (see BENCH_alloc.json and the
+	// "Allocation profile" section of EXPERIMENTS.md).
+	for _, fn := range []int{n, 4096} {
+		a := marray.RandomMonge(rand.New(rand.NewSource(1)), fn, fn)
+		b.Run(fmt.Sprintf("faults=off/n=%d", fn), func(b *testing.B) {
+			b.ReportAllocs()
+			mach := pram.New(pram.CRCW, fn)
+			mach.SetFaults(nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.RowMinima(mach, a)
+			}
+			reportMachine(b, mach, fn)
+		})
+	}
 	b.Run("hooks=armed", func(b *testing.B) {
+		b.ReportAllocs()
 		mach := pram.New(pram.CRCW, n)
 		mach.SetFaults(nil)
 		mach.SetContext(context.Background())
@@ -582,6 +625,7 @@ func BenchmarkRowMinima(b *testing.B) {
 		reportMachine(b, mach, n)
 	})
 	b.Run("faults=0.05", func(b *testing.B) {
+		b.ReportAllocs()
 		mach := pram.New(pram.CRCW, n)
 		mach.SetFaults(faults.New(1, 0.05))
 		b.ResetTimer()
@@ -616,14 +660,17 @@ func BenchmarkObsOverhead(b *testing.B) {
 		reportMachine(b, mach, n)
 	}
 	b.Run("obs=off", func(b *testing.B) {
+		b.ReportAllocs()
 		obs.SetGlobal(nil)
 		run(b)
 	})
 	b.Run("obs=on", func(b *testing.B) {
+		b.ReportAllocs()
 		obs.SetGlobal(obs.NewObserver())
 		run(b)
 	})
 	b.Run("obs=on+trace", func(b *testing.B) {
+		b.ReportAllocs()
 		o := obs.NewObserver()
 		o.EnableTracing(0)
 		obs.SetGlobal(o)

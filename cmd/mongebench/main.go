@@ -5,8 +5,14 @@
 // Usage:
 //
 //	mongebench [-exp all|t11|t12|t13|fig11|app1|app2|app3|app4] [-maxn 2048] [-seed 1]
-//	           [-timeout 30s] [-faults 0.05] [-fault-seed 1]
+//	           [-batch N] [-timeout 30s] [-faults 0.05] [-fault-seed 1]
 //	           [-metrics] [-trace-out trace.json] [-profile cpu.pprof]
+//
+// With -batch N, the command runs N same-shape queries per ladder size
+// through the batched query driver (internal/batch) instead of the -exp
+// experiments: one retained machine per shape class answers the whole
+// batch, and each row reports the amortized per-query wall time next to
+// the fresh-machine-per-query baseline with an index-exactness check.
 //
 // Each row reports the charged time of the simulated machine at a ladder
 // of sizes plus the "shape ratio" time/bound(n), which should stay roughly
@@ -51,6 +57,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"monge/internal/batch"
 	"monge/internal/core"
 	"monge/internal/exec"
 	"monge/internal/faults"
@@ -73,6 +80,7 @@ var (
 	expFlag   string
 	maxN      int
 	seed      int64
+	batchN    int
 	traceFlag string
 	timeout   time.Duration
 	faultRate float64
@@ -126,6 +134,7 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 	fs.StringVar(&expFlag, "exp", "all", "experiment: all, t11, t12, t13, fig11, app1, app2, app3, app4")
 	fs.IntVar(&maxN, "maxn", 2048, "largest problem size in the ladder")
 	fs.Int64Var(&seed, "seed", 1, "workload seed")
+	fs.IntVar(&batchN, "batch", 0, "run N same-shape queries per ladder size through the batched driver (internal/batch) instead of the -exp experiments, comparing amortized cost against fresh machines")
 	fs.StringVar(&traceFlag, "trace", "", "write aggregated per-step runtime counters as JSON to this file (\"-\" for stdout)")
 	fs.DurationVar(&timeout, "timeout", 0, "cancel the run after this duration (0 = no deadline)")
 	fs.Float64Var(&faultRate, "faults", 0, "per-unit fault injection rate in (0, 0.9]; 0 disables injection")
@@ -200,14 +209,22 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 			failed = true
 		}
 	}
-	run("t11", table11)
-	run("t12", table12)
-	run("t13", table13)
-	run("fig11", figure11)
-	run("app1", app1)
-	run("app2", app2)
-	run("app3", app3)
-	run("app4", app4)
+	if batchN > 0 {
+		matched = true
+		if err := runExperiment(func() { batchExp(batchN) }); err != nil {
+			fmt.Fprintf(errw, "\nbatch experiment aborted: %v\n", err)
+			failed = true
+		}
+	} else {
+		run("t11", table11)
+		run("t12", table12)
+		run("t13", table13)
+		run("fig11", figure11)
+		run("app1", app1)
+		run("app2", app2)
+		run("app3", app3)
+		run("app4", app4)
+	}
 	if failed {
 		return 1
 	}
@@ -535,6 +552,71 @@ func app4() {
 		}
 		printf("%8d  dist %6.0f  hypercube time %8d (t/lg^2 %6.1f)  %s\n",
 			n, d, rep.Time, float64(rep.Time)/(lg(n)*lg(n)), match)
+	}
+}
+
+// batchExp exercises the batched query driver end to end: k row-minima
+// queries (and, at small sizes, k tube-maxima queries) per ladder size
+// run through one retained machine per shape class, timed against the
+// fresh-machine-per-query path and checked index-for-index against it.
+func batchExp(k int) {
+	rng := rand.New(rand.NewSource(seed))
+	d := batch.New(pram.CRCW)
+	if benchCtx != nil {
+		d.SetContext(benchCtx)
+	}
+	defer d.Close()
+
+	printf("\n== Batched row minima: %d queries per size, one machine per shape class ==\n", k)
+	printf("%8s %14s %14s %9s %8s\n", "n", "batch/query", "fresh/query", "speedup", "match")
+	for _, n := range sizes(maxN) {
+		arrays := make([]marray.Matrix, k)
+		for i := range arrays {
+			arrays[i] = marray.RandomMonge(rng, n, n)
+		}
+		start := time.Now()
+		got := d.RowMinimaBatch(arrays)
+		batchT := time.Since(start)
+		match := "ok"
+		start = time.Now()
+		for i, a := range arrays {
+			want := core.RowMinima(newPRAM(pram.CRCW, n), a)
+			for r := range want {
+				if got[i][r] != want[r] {
+					match = "MISMATCH"
+				}
+			}
+		}
+		freshT := time.Since(start)
+		printf("%8d %14v %14v %8.1fx %8s\n", n, batchT/time.Duration(k), freshT/time.Duration(k),
+			float64(freshT)/float64(batchT), match)
+	}
+
+	printf("\n== Batched tube maxima: %d queries per size ==\n", k)
+	printf("%8s %14s %14s %9s %8s\n", "n", "batch/query", "fresh/query", "speedup", "match")
+	for _, n := range sizes(min(maxN, 128)) {
+		comps := make([]marray.Composite, k)
+		for i := range comps {
+			comps[i] = marray.RandomComposite(rng, n, n, n)
+		}
+		start := time.Now()
+		gotJ, _ := d.TubeMaximaBatch(comps)
+		batchT := time.Since(start)
+		match := "ok"
+		start = time.Now()
+		for i, c := range comps {
+			wantJ, _ := core.TubeMaxima(newPRAM(pram.CRCW, 2*n*n), c)
+			for x := range wantJ {
+				for kk := range wantJ[x] {
+					if gotJ[i][x][kk] != wantJ[x][kk] {
+						match = "MISMATCH"
+					}
+				}
+			}
+		}
+		freshT := time.Since(start)
+		printf("%8d %14v %14v %8.1fx %8s\n", n, batchT/time.Duration(k), freshT/time.Duration(k),
+			float64(freshT)/float64(batchT), match)
 	}
 }
 

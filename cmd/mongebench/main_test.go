@@ -77,7 +77,7 @@ func parseMetrics(t *testing.T, stdout string) map[string]metricsRow {
 	}
 	for _, ln := range lines[start:] {
 		f := strings.Fields(ln)
-		if len(f) != 13 {
+		if len(f) != 16 { // site + 15 counter columns (see obs.WriteTable)
 			continue
 		}
 		rows[f[0]] = metricsRow{

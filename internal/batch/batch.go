@@ -1,0 +1,112 @@
+// Package batch amortizes simulated-machine construction across many
+// searches. The facade entry points build a fresh PRAM per query, which
+// means every query pays the machine's warm-up allocations: write-buffer
+// shards, scratch arrays, child-machine shells. A Driver instead keeps
+// one machine per shape class (one per distinct processor count) and
+// routes every query of that shape through it, so the per-machine arenas
+// (see internal/pram) reach steady state once and every later query of
+// the same shape runs essentially allocation-free.
+//
+// A Driver is NOT goroutine-safe: queries share machines and their
+// arenas. Batched results are index-exact with the one-at-a-time facade
+// calls — the fuzz and table tests in this package and in the root
+// package are the guard.
+package batch
+
+import (
+	"context"
+
+	"monge/internal/core"
+	"monge/internal/marray"
+	"monge/internal/pram"
+)
+
+// Driver runs searching queries on recycled per-shape machines.
+type Driver struct {
+	mode     pram.Mode
+	ctx      context.Context
+	machines map[int]*pram.Machine // keyed by declared processor count
+}
+
+// New returns a Driver whose machines use the given PRAM mode. Close
+// releases the retained machines' arenas when the batch is done.
+func New(mode pram.Mode) *Driver {
+	return &Driver{mode: mode, machines: make(map[int]*pram.Machine)}
+}
+
+// SetContext attaches ctx to every machine the driver holds or later
+// creates; a cancelled context aborts the current query at its next
+// superstep with merr.ErrCanceled.
+func (d *Driver) SetContext(ctx context.Context) {
+	d.ctx = ctx
+	for _, m := range d.machines {
+		m.SetContext(ctx)
+	}
+}
+
+// machineFor returns the retained machine declaring procs processors,
+// creating it on first use. Counters accumulate across queries; callers
+// that need per-query costs should diff Machine.Time/Work around a call.
+func (d *Driver) machineFor(procs int) *pram.Machine {
+	if procs < 1 {
+		procs = 1
+	}
+	if m, ok := d.machines[procs]; ok {
+		return m
+	}
+	m := pram.New(d.mode, procs)
+	if d.ctx != nil {
+		m.SetContext(d.ctx)
+	}
+	d.machines[procs] = m
+	return m
+}
+
+// Machine exposes the retained machine for a shape class (procs as sized
+// by the driver: Cols(a) for row queries, 2*q*r for tube queries), for
+// counter inspection in tests and benchmarks. Returns nil before the
+// first query of that shape.
+func (d *Driver) Machine(procs int) *pram.Machine { return d.machines[procs] }
+
+// RowMinima computes the leftmost row minima of the Monge array a on the
+// machine retained for a's shape class.
+func (d *Driver) RowMinima(a marray.Matrix) []int {
+	return core.RowMinima(d.machineFor(a.Cols()), a)
+}
+
+// RowMinimaBatch answers every query through the per-shape machines.
+// Results are index-exact with len(as) independent facade calls.
+func (d *Driver) RowMinimaBatch(as []marray.Matrix) [][]int {
+	out := make([][]int, len(as))
+	for i, a := range as {
+		out[i] = d.RowMinima(a)
+	}
+	return out
+}
+
+// TubeMaxima solves the tube-maxima problem for the Monge-composite
+// array c on the machine retained for c's shape class.
+func (d *Driver) TubeMaxima(c marray.Composite) ([][]int, [][]float64) {
+	return core.TubeMaxima(d.machineFor(2*c.Q()*c.R()), c)
+}
+
+// TubeMaximaBatch answers every tube query through the per-shape
+// machines, index-exact with independent facade calls.
+func (d *Driver) TubeMaximaBatch(cs []marray.Composite) ([][][]int, [][][]float64) {
+	argJ := make([][][]int, len(cs))
+	vals := make([][][]float64, len(cs))
+	for i, c := range cs {
+		argJ[i], vals[i] = d.TubeMaxima(c)
+	}
+	return argJ, vals
+}
+
+// Close resets every retained machine, releasing the scratch arenas and
+// any machine-private pools. The Driver is reusable after Close; the
+// next query rebuilds its machine.
+func (d *Driver) Close() {
+	for _, m := range d.machines {
+		m.Reset()
+	}
+	d.machines = make(map[int]*pram.Machine)
+}

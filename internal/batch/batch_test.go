@@ -1,0 +1,111 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"monge/internal/core"
+	"monge/internal/marray"
+	"monge/internal/pram"
+	"monge/internal/smawk"
+)
+
+// Batched answers must be index-exact with both the sequential oracle
+// and a fresh-machine-per-query run, across mixed shapes (so the driver
+// juggles several shape classes at once) and tie-heavy integer arrays.
+func TestRowMinimaBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct{ m, n int }{
+		{16, 16}, {1, 33}, {64, 5}, {16, 16}, {7, 7}, {64, 5},
+	}
+	var as []marray.Matrix
+	for _, sh := range shapes {
+		as = append(as, marray.RandomMonge(rng, sh.m, sh.n))
+		as = append(as, marray.RandomMongeInt(rng, sh.m, sh.n, 3))
+	}
+	d := New(pram.CRCW)
+	defer d.Close()
+	got := d.RowMinimaBatch(as)
+	for i, a := range as {
+		want := smawk.RowMinima(a)
+		fresh := core.RowMinima(pram.New(pram.CRCW, a.Cols()), a)
+		for r := range want {
+			if got[i][r] != want[r] {
+				t.Fatalf("query %d row %d: batch %d, sequential %d", i, r, got[i][r], want[r])
+			}
+			if got[i][r] != fresh[r] {
+				t.Fatalf("query %d row %d: batch %d, fresh machine %d", i, r, got[i][r], fresh[r])
+			}
+		}
+	}
+}
+
+func TestTubeMaximaBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct{ p, q, r int }{{6, 6, 6}, {1, 9, 3}, {6, 6, 6}, {4, 2, 8}}
+	var cs []marray.Composite
+	for _, sh := range shapes {
+		cs = append(cs, marray.RandomComposite(rng, sh.p, sh.q, sh.r))
+	}
+	d := New(pram.CREW)
+	defer d.Close()
+	argJ, vals := d.TubeMaximaBatch(cs)
+	for i, c := range cs {
+		wantJ, wantV := smawk.TubeMaxima(c)
+		for x := range wantJ {
+			for k := range wantJ[x] {
+				if argJ[i][x][k] != wantJ[x][k] {
+					t.Fatalf("query %d tube (%d,%d): batch j=%d, sequential j=%d",
+						i, x, k, argJ[i][x][k], wantJ[x][k])
+				}
+				if vals[i][x][k] != wantV[x][k] {
+					t.Fatalf("query %d tube (%d,%d): batch val %v, sequential %v",
+						i, x, k, vals[i][x][k], wantV[x][k])
+				}
+			}
+		}
+	}
+}
+
+// Shape classes must share machines: two same-shape queries hit one
+// machine, a different shape gets its own.
+func TestDriverSharesMachinesByShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := New(pram.CRCW)
+	defer d.Close()
+	d.RowMinima(marray.RandomMonge(rng, 8, 16))
+	m1 := d.Machine(16)
+	if m1 == nil {
+		t.Fatal("no machine retained for 16 cols")
+	}
+	t1 := m1.Time()
+	d.RowMinima(marray.RandomMonge(rng, 8, 16))
+	if d.Machine(16) != m1 {
+		t.Fatal("same-shape query built a second machine")
+	}
+	if m1.Time() <= t1 {
+		t.Fatal("second query charged no time on the shared machine")
+	}
+	d.RowMinima(marray.RandomMonge(rng, 8, 32))
+	if d.Machine(32) == nil || d.Machine(32) == m1 {
+		t.Fatal("different shape did not get its own machine")
+	}
+}
+
+func TestDriverCloseAndReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := marray.RandomMonge(rng, 12, 12)
+	d := New(pram.CRCW)
+	before := d.RowMinima(a)
+	d.Close()
+	if d.Machine(12) != nil {
+		t.Fatal("Close retained a machine")
+	}
+	after := d.RowMinima(a)
+	defer d.Close()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("row %d: %d before Close, %d after", i, before[i], after[i])
+		}
+	}
+}

@@ -75,8 +75,10 @@ func searchRows(mach *pram.Machine, a marray.Matrix, tieRight bool) []int {
 	if m == 0 || n == 0 {
 		return out
 	}
-	s := &searcher{mach: mach, a: a, tieRight: tieRight}
-	rows := make([]int, m)
+	ws := getWS()
+	defer putWS(ws)
+	s := &searcher{a: a, tieRight: tieRight, ws: ws}
+	rows := ws.ints.Alloc(m)
 	for i := range rows {
 		rows[i] = i
 	}
@@ -86,11 +88,13 @@ func searchRows(mach *pram.Machine, a marray.Matrix, tieRight bool) []int {
 	return out
 }
 
-// searcher carries the array and tie rule through the recursion.
+// searcher carries the array, tie rule, and scratch workspace through the
+// recursion. Recursion-local slices live in ws (stack discipline, see
+// ws.go); only the slice returned to the public caller is heap-allocated.
 type searcher struct {
-	mach     *pram.Machine
 	a        marray.Matrix
 	tieRight bool
+	ws       *coreWS
 }
 
 // pick returns the better of two candidates under (smaller value, then tie
@@ -132,18 +136,26 @@ func (s *searcher) solve(mach *pram.Machine, rows []int, cLo, cHi int) []int {
 	if step < 2 {
 		step = 2
 	}
-	var sampledPos []int
+	// The frame's result is allocated before the mark so it survives the
+	// rewind; everything after the mark (sampled vectors, gap descriptors,
+	// child results) is reclaimed when this frame returns.
+	out := s.ws.ints.Alloc(k)
+	mark := s.ws.mark()
+	defer s.ws.rewind(mark)
+
+	nS := 0
 	for p := step - 1; p < k; p += step {
-		sampledPos = append(sampledPos, p)
+		nS++
 	}
-	sampledRows := make([]int, len(sampledPos))
-	for i, p := range sampledPos {
+	sampledPos := s.ws.ints.Alloc(nS)
+	sampledRows := s.ws.ints.Alloc(nS)
+	for i, p := 0, step-1; p < k; i, p = i+1, p+step {
+		sampledPos[i] = p
 		sampledRows[i] = rows[p]
 	}
-	mach.Step(len(sampledPos), func(int) {}) // sampled-index construction
+	mach.Step(nS, func(int) {}) // sampled-index construction
 	sampledCols := s.solve(mach, sampledRows, cLo, cHi)
 
-	out := make([]int, k)
 	for i, p := range sampledPos {
 		out[p] = sampledCols[i]
 	}
@@ -151,32 +163,44 @@ func (s *searcher) solve(mach *pram.Machine, rows []int, cLo, cHi int) []int {
 	// Build the gap descriptors. Gap g spans the unsampled rows between
 	// sampled row g-1 and sampled row g; its column interval is bracketed
 	// by the neighbouring sampled answers (argmin is monotone).
-	type gap struct {
-		lo, hi   int // positions within rows, [lo, hi)
-		jLo, jHi int // inclusive column interval
+	nG := 0
+	prevPos := -1
+	for g := 0; g <= nS; g++ {
+		endPos := k
+		if g < nS {
+			endPos = sampledPos[g]
+		}
+		if prevPos+1 < endPos {
+			nG++
+		}
+		if g < nS {
+			prevPos = sampledPos[g]
+		}
 	}
-	var gaps []gap
-	procs := []int{}
+	gaps := s.ws.gaps.Alloc(nG)
+	procs := s.ws.ints.Alloc(nG)
+	gi := 0
 	prevPos, prevCol := -1, cLo
-	for g := 0; g <= len(sampledPos); g++ {
+	for g := 0; g <= nS; g++ {
 		endPos := k
 		jHi := cHi
-		if g < len(sampledPos) {
+		if g < nS {
 			endPos = sampledPos[g]
 			jHi = sampledCols[g]
 		}
 		if prevPos+1 < endPos {
-			gp := gap{lo: prevPos + 1, hi: endPos, jLo: prevCol, jHi: jHi}
-			gaps = append(gaps, gp)
-			procs = append(procs, (gp.hi-gp.lo)+(gp.jHi-gp.jLo+1))
+			gp := gapDesc{lo: prevPos + 1, hi: endPos, jLo: prevCol, jHi: jHi}
+			gaps[gi] = gp
+			procs[gi] = (gp.hi - gp.lo) + (gp.jHi - gp.jLo + 1)
+			gi++
 		}
-		if g < len(sampledPos) {
+		if g < nS {
 			prevPos = sampledPos[g]
 			prevCol = sampledCols[g]
 		}
 	}
 
-	results := make([][]int, len(gaps))
+	results := s.ws.slices.Alloc(nG)
 	mach.ParallelDo(procs, func(b int, sub *pram.Machine) {
 		gp := gaps[b]
 		gapRows := rows[gp.lo:gp.hi]
@@ -216,10 +240,11 @@ func (s *searcher) baseTree(mach *pram.Machine, rows []int, cLo, cHi int) []int 
 			arr.Write(id, r*w+c, s.pick(x, y))
 		})
 	}
-	out := make([]int, k)
+	out := s.ws.ints.Alloc(k)
 	for r := 0; r < k; r++ {
 		out[r] = arr.Read(r * w).I
 	}
+	arr.Free()
 	return out
 }
 
@@ -276,11 +301,13 @@ func (s *searcher) baseCRCW(mach *pram.Machine, rows []int, cLo, cHi int) []int 
 		// positions that are multiples of stride*g.
 		stride *= g
 		count = blocks
+		loser.Free()
 	}
-	out := make([]int, k)
+	out := s.ws.ints.Alloc(k)
 	for r := 0; r < k; r++ {
 		out[r] = arr.Read(r * w).I
 	}
+	arr.Free()
 	return out
 }
 

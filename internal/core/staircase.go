@@ -33,9 +33,11 @@ func StaircaseRowMinima(mach *pram.Machine, a marray.Matrix) []int {
 		}
 		return out
 	}
+	ws := getWS()
+	defer putWS(ws)
 	// Row boundaries: one superstep of m processors; binary search inside
 	// the body costs lg n unless the matrix carries its boundary function.
-	f := make([]int, m)
+	f := ws.ints.Alloc(m)
 	if st, ok := a.(marray.Staircase); ok {
 		mach.Step(m, func(id int) { f[id] = st.Boundary(id) })
 	} else {
@@ -43,8 +45,8 @@ func StaircaseRowMinima(mach *pram.Machine, a marray.Matrix) []int {
 			f[id] = marray.BoundaryOf(a, id)
 		})
 	}
-	s := &stairSearcher{a: a, f: f}
-	rows := make([]int, m)
+	s := &stairSearcher{a: a, f: f, ws: ws}
+	rows := ws.ints.Alloc(m)
 	for i := range rows {
 		rows[i] = i
 	}
@@ -78,8 +80,9 @@ func (x stairCand) better(y stairCand) bool {
 }
 
 type stairSearcher struct {
-	a marray.Matrix
-	f []int // first blocked column per global row
+	a  marray.Matrix
+	f  []int // first blocked column per global row
+	ws *coreWS
 }
 
 func (s *stairSearcher) eff(r, c1 int) int {
@@ -92,7 +95,7 @@ func (s *stairSearcher) eff(r, c1 int) int {
 // solve returns window-local minima of the given global rows over columns
 // [c0, c1).
 func (s *stairSearcher) solve(mach *pram.Machine, rows []int, c0, c1 int) []stairCand {
-	res := make([]stairCand, len(rows))
+	res := s.ws.cands.Alloc(len(rows))
 	for i := range res {
 		res[i] = worstStair()
 	}
@@ -103,20 +106,26 @@ func (s *stairSearcher) solve(mach *pram.Machine, rows []int, c0, c1 int) []stai
 		s.baseScan(mach, rows, c0, c1, res)
 		return res
 	}
+	// res is allocated above the mark; everything below is reclaimed when
+	// this frame returns (see ws.go).
+	mark := s.ws.mark()
+	defer s.ws.rewind(mark)
 
 	step := isqrt(len(rows))
 	if step < 2 {
 		step = 2
 	}
-	var sampledPos []int
+	nS := 0
 	for p := step - 1; p < len(rows); p += step {
-		sampledPos = append(sampledPos, p)
+		nS++
 	}
-	sampledRows := make([]int, len(sampledPos))
-	for i, p := range sampledPos {
+	sampledPos := s.ws.ints.Alloc(nS)
+	sampledRows := s.ws.ints.Alloc(nS)
+	for i, p := 0, step-1; p < len(rows); i, p = i+1, p+step {
+		sampledPos[i] = p
 		sampledRows[i] = rows[p]
 	}
-	mach.Step(len(sampledPos), func(int) {}) // B^t row extraction
+	mach.Step(nS, func(int) {}) // B^t row extraction
 	sres := s.solve(mach, sampledRows, c0, c1)
 	for i, p := range sampledPos {
 		res[p] = sres[i]
@@ -125,22 +134,33 @@ func (s *stairSearcher) solve(mach *pram.Machine, rows []int, c0, c1 int) []stai
 	// Gap descriptors (one per unsampled run, as in the plain Monge
 	// recursion). Each gap then fans out into up to three feasible-region
 	// searches executed by parallel processor groups.
-	type gapDesc struct {
-		start, end int // positions within rows, [start, end)
-		g          int // index of the sampled row below (== len => none)
-	}
-	var gaps []gapDesc
-	procs := []int{}
+	nG := 0
 	gapStart := 0
-	for g := 0; g <= len(sampledPos); g++ {
+	for g := 0; g <= nS; g++ {
 		gapEnd := len(rows)
-		if g < len(sampledPos) {
+		if g < nS {
 			gapEnd = sampledPos[g]
 		}
 		if gapStart < gapEnd {
-			gaps = append(gaps, gapDesc{start: gapStart, end: gapEnd, g: g})
+			nG++
+		}
+		if g < nS {
+			gapStart = sampledPos[g] + 1
+		}
+	}
+	gaps := s.ws.sgaps.Alloc(nG)
+	procs := s.ws.ints.Alloc(nG)
+	gi := 0
+	gapStart = 0
+	for g := 0; g <= nS; g++ {
+		gapEnd := len(rows)
+		if g < nS {
+			gapEnd = sampledPos[g]
+		}
+		if gapStart < gapEnd {
+			gaps[gi] = stairGap{start: gapStart, end: gapEnd, g: g}
 			width := 0
-			if g < len(sampledPos) && sres[g].col >= 0 {
+			if g < nS && sres[g].col >= 0 {
 				lo := c0
 				if g > 0 && sres[g-1].col >= 0 {
 					lo = sres[g-1].col
@@ -149,14 +169,15 @@ func (s *stairSearcher) solve(mach *pram.Machine, rows []int, c0, c1 int) []stai
 			} else {
 				width = c1 - c0
 			}
-			procs = append(procs, (gapEnd-gapStart)+width)
+			procs[gi] = (gapEnd - gapStart) + width
+			gi++
 		}
-		if g < len(sampledPos) {
+		if g < nS {
 			gapStart = sampledPos[g] + 1
 		}
 	}
 
-	results := make([][]stairCand, len(gaps))
+	results := s.ws.cslices.Alloc(nG)
 	mach.ParallelDo(procs, func(b int, sub *pram.Machine) {
 		results[b] = s.solveGap(sub, rows, gaps[b].start, gaps[b].end, gaps[b].g, sampledPos, sres, c0, c1)
 	})
@@ -174,10 +195,12 @@ func (s *stairSearcher) solve(mach *pram.Machine, rows []int, c0, c1 int) []stai
 // [gapStart, gapEnd) of rows, given the sampled answers bracketing the gap.
 func (s *stairSearcher) solveGap(mach *pram.Machine, rows []int, gapStart, gapEnd, g int, sampledPos []int, sres []stairCand, c0, c1 int) []stairCand {
 	k := gapEnd - gapStart
-	res := make([]stairCand, k)
+	res := s.ws.cands.Alloc(k)
 	for i := range res {
 		res[i] = worstStair()
 	}
+	mark := s.ws.mark()
+	defer s.ws.rewind(mark)
 	lb := c0
 	if g > 0 && sres[g-1].col >= 0 {
 		lb = sres[g-1].col
@@ -192,16 +215,32 @@ func (s *stairSearcher) solveGap(mach *pram.Machine, rows []int, gapStart, gapEn
 	// Clean rows (boundary still right of lb) form a prefix of the gap;
 	// crossed rows a suffix, because boundaries are nonincreasing.
 	mach.Step(k, func(int) {}) // classification step
-	var cleanPos, crossedPos []int
+	nClean, nCrossed := 0, 0
 	for p := gapStart; p < gapEnd; p++ {
-		r := rows[p]
-		if s.eff(r, c1) <= c0 {
+		e := s.eff(rows[p], c1)
+		if e <= c0 {
 			continue
 		}
-		if s.eff(r, c1) > lb {
-			cleanPos = append(cleanPos, p)
+		if e > lb {
+			nClean++
 		} else {
-			crossedPos = append(crossedPos, p)
+			nCrossed++
+		}
+	}
+	cleanPos := s.ws.ints.Alloc(nClean)
+	crossedPos := s.ws.ints.Alloc(nCrossed)
+	ci, xi := 0, 0
+	for p := gapStart; p < gapEnd; p++ {
+		e := s.eff(rows[p], c1)
+		if e <= c0 {
+			continue
+		}
+		if e > lb {
+			cleanPos[ci] = p
+			ci++
+		} else {
+			crossedPos[xi] = p
+			xi++
 		}
 	}
 
@@ -213,22 +252,21 @@ func (s *stairSearcher) solveGap(mach *pram.Machine, rows []int, gapStart, gapEn
 		}
 	}
 
-	type job struct {
-		kind     int // 0 = Monge rectangle, 1 = recurse window
-		pos      []int
-		jLo, jHi int // kind 0: inclusive cols; kind 1: [jLo, jHi) window
-	}
-	var jobs []job
-	var procs []int
+	// At most three feasible-region jobs per gap (kinds documented on
+	// stairJob in ws.go).
+	jobs := s.ws.sjobs.Alloc(3)[:0]
+	procs := s.ws.ints.Alloc(3)[:0]
 	if haveBelow {
 		if len(cleanPos) > 0 && lb <= cq {
-			jobs = append(jobs, job{kind: 0, pos: cleanPos, jLo: lb, jHi: cq})
+			jobs = append(jobs, stairJob{kind: 0, pos: cleanPos, jLo: lb, jHi: cq})
 			procs = append(procs, len(cleanPos)+(cq-lb+1))
 		}
 		if effq < c1 {
-			all := append(append([]int(nil), cleanPos...), crossedPos...)
+			all := s.ws.ints.Alloc(nClean + nCrossed)
+			copy(all, cleanPos)
+			copy(all[nClean:], crossedPos)
 			if len(all) > 0 {
-				jobs = append(jobs, job{kind: 1, pos: all, jLo: effq, jHi: c1})
+				jobs = append(jobs, stairJob{kind: 1, pos: all, jLo: effq, jHi: c1})
 				procs = append(procs, len(all)+(c1-effq))
 			}
 		}
@@ -237,28 +275,28 @@ func (s *stairSearcher) solveGap(mach *pram.Machine, rows []int, gapStart, gapEn
 			if hi > c1 {
 				hi = c1
 			}
-			jobs = append(jobs, job{kind: 1, pos: crossedPos, jLo: c0, jHi: hi})
+			jobs = append(jobs, stairJob{kind: 1, pos: crossedPos, jLo: c0, jHi: hi})
 			procs = append(procs, len(crossedPos)+(hi-c0))
 		}
 	} else {
 		if len(cleanPos) > 0 {
-			jobs = append(jobs, job{kind: 1, pos: cleanPos, jLo: lb, jHi: c1})
+			jobs = append(jobs, stairJob{kind: 1, pos: cleanPos, jLo: lb, jHi: c1})
 			procs = append(procs, len(cleanPos)+(c1-lb))
 		}
 		if len(crossedPos) > 0 {
-			jobs = append(jobs, job{kind: 1, pos: crossedPos, jLo: c0, jHi: c1})
+			jobs = append(jobs, stairJob{kind: 1, pos: crossedPos, jLo: c0, jHi: c1})
 			procs = append(procs, len(crossedPos)+(c1-c0))
 		}
 	}
 
-	subResults := make([][]stairCand, len(jobs))
+	subResults := s.ws.cslices.Alloc(len(jobs))
 	mach.ParallelDo(procs, func(b int, sub *pram.Machine) {
 		jb := jobs[b]
 		if jb.kind == 0 {
 			subResults[b] = s.mongeRegion(sub, rows, jb.pos, jb.jLo, jb.jHi)
 			return
 		}
-		subRows := make([]int, len(jb.pos))
+		subRows := s.ws.ints.Alloc(len(jb.pos))
 		for i, p := range jb.pos {
 			subRows[i] = rows[p]
 		}
@@ -274,13 +312,13 @@ func (s *stairSearcher) solveGap(mach *pram.Machine, rows []int, gapStart, gapEn
 // mongeRegion searches the fully finite rectangle (rows at positions pos) x
 // (columns [jLo, jHi] inclusive) with the plain Monge recursion.
 func (s *stairSearcher) mongeRegion(mach *pram.Machine, rows []int, pos []int, jLo, jHi int) []stairCand {
-	subRows := make([]int, len(pos))
+	subRows := s.ws.ints.Alloc(len(pos))
 	for i, p := range pos {
 		subRows[i] = rows[p]
 	}
-	sr := &searcher{a: s.a}
+	sr := &searcher{a: s.a, ws: s.ws}
 	cols := sr.solve(mach, subRows, jLo, jHi)
-	out := make([]stairCand, len(pos))
+	out := s.ws.cands.Alloc(len(pos))
 	for i := range pos {
 		out[i] = stairCand{col: cols[i], val: s.a.At(subRows[i], cols[i])}
 	}
@@ -291,7 +329,7 @@ func (s *stairSearcher) mongeRegion(mach *pram.Machine, rows []int, pos []int, j
 // plain searcher; +Inf entries lose every comparison, and a row whose best
 // value is +Inf is reported as blocked.
 func (s *stairSearcher) baseScan(mach *pram.Machine, rows []int, c0, c1 int, res []stairCand) {
-	sr := &searcher{a: s.a}
+	sr := &searcher{a: s.a, ws: s.ws}
 	cols := sr.base(mach, rows, c0, c1-1)
 	for i, r := range rows {
 		v := s.a.At(r, cols[i])

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sync"
+
+	"monge/internal/scratch"
+)
+
+// gapDesc describes one unsampled run of the plain Monge recursion: rows
+// at positions [lo, hi) within the current row set, bracketed to the
+// inclusive column interval [jLo, jHi].
+type gapDesc struct {
+	lo, hi   int
+	jLo, jHi int
+}
+
+// stairGap describes one unsampled run of the staircase recursion:
+// positions [start, end) within rows, below sampled row g.
+type stairGap struct {
+	start, end int
+	g          int
+}
+
+// stairJob is one feasible-region search fanned out by a staircase gap:
+// kind 0 is a fully finite Monge rectangle over inclusive columns
+// [jLo, jHi], kind 1 a recursive staircase window [jLo, jHi).
+type stairJob struct {
+	kind     int
+	pos      []int
+	jLo, jHi int
+}
+
+// coreWS is the per-query scratch workspace threaded through the sampled
+// recursions of searcher and stairSearcher. Every recursion-local slice
+// (row/position vectors, gap and job descriptors, per-gap result slices)
+// is bump-allocated here with stack discipline — a frame allocates its
+// result first, marks, and rewinds on return — so a query at a size the
+// workspace has already seen performs no heap allocation for recursion
+// bookkeeping. ParallelDo branches execute sequentially on the
+// coordinator, so a single workspace per query is race-free.
+type coreWS struct {
+	ints    scratch.Arena[int]
+	slices  scratch.Arena[[]int]
+	gaps    scratch.Arena[gapDesc]
+	cands   scratch.Arena[stairCand]
+	cslices scratch.Arena[[]stairCand]
+	sgaps   scratch.Arena[stairGap]
+	sjobs   scratch.Arena[stairJob]
+}
+
+type wsMark struct {
+	ints    scratch.Mark
+	slices  scratch.Mark
+	gaps    scratch.Mark
+	cands   scratch.Mark
+	cslices scratch.Mark
+	sgaps   scratch.Mark
+	sjobs   scratch.Mark
+}
+
+func (w *coreWS) mark() wsMark {
+	return wsMark{
+		ints:    w.ints.Mark(),
+		slices:  w.slices.Mark(),
+		gaps:    w.gaps.Mark(),
+		cands:   w.cands.Mark(),
+		cslices: w.cslices.Mark(),
+		sgaps:   w.sgaps.Mark(),
+		sjobs:   w.sjobs.Mark(),
+	}
+}
+
+func (w *coreWS) rewind(m wsMark) {
+	w.ints.Rewind(m.ints)
+	w.slices.Rewind(m.slices)
+	w.gaps.Rewind(m.gaps)
+	w.cands.Rewind(m.cands)
+	w.cslices.Rewind(m.cslices)
+	w.sgaps.Rewind(m.sgaps)
+	w.sjobs.Rewind(m.sjobs)
+}
+
+func (w *coreWS) reset() {
+	w.ints.Reset()
+	w.slices.Reset()
+	w.gaps.Reset()
+	w.cands.Reset()
+	w.cslices.Reset()
+	w.sgaps.Reset()
+	w.sjobs.Reset()
+}
+
+// wsPool recycles workspaces across queries; back-to-back queries of the
+// same shape (the batch driver's case) reuse one warm workspace.
+var wsPool = sync.Pool{New: func() any { return new(coreWS) }}
+
+func getWS() *coreWS  { return wsPool.Get().(*coreWS) }
+func putWS(w *coreWS) { w.reset(); wsPool.Put(w) }

@@ -55,6 +55,7 @@ func benchSizes() []int { return []int{256, 1024, 4096} }
 func BenchmarkStepLoop_SpawnPerStep(b *testing.B) {
 	for _, n := range benchSizes() {
 		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
 			buf := make([]int64, n)
 			for i := 0; i < b.N; i++ {
 				spawnFor(benchWorkers, n, func(j int) { buf[j]++ })
@@ -66,6 +67,7 @@ func BenchmarkStepLoop_SpawnPerStep(b *testing.B) {
 func BenchmarkStepLoop_PersistentPool(b *testing.B) {
 	for _, n := range benchSizes() {
 		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
 			p := NewPool(benchWorkers)
 			defer p.Close()
 			buf := make([]int64, n)

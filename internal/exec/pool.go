@@ -172,33 +172,52 @@ func (j job) runCtx(ctx context.Context) {
 // steps; Close stops them (idempotently) and waits for them to finish any
 // chunks already claimed, and a closed pool restarts lazily if used again,
 // so Machine.Reset can shut the pool down without poisoning later runs.
+//
+// # Lifetime contract
+//
+// Callers that own a pool should Close it when done: Close is the only
+// deterministic shutdown point, and when it returns no pool goroutine is
+// parked or mid-chunk. As a safety net, a pool that becomes unreachable
+// without Close has its workers released by a runtime.AddCleanup hook:
+// the channel/worker state lives in an inner poolState that the cleanup
+// (and the workers) reference, never the Pool itself, so an abandoned
+// Pool is collectable and its parked goroutines exit after the next GC
+// cycle. The cleanup is asynchronous — tests that assert on goroutine
+// counts must poll (see waitGoroutines in robust_test.go) rather than
+// expect the workers gone the instant the Pool is dropped.
 type Pool struct {
 	workers int
+	state   *poolState
+}
 
+// poolState is the shareable part of a Pool: everything the workers and
+// the GC cleanup touch. It must not reference the owning Pool, or the
+// cleanup would keep the Pool reachable and never run.
+type poolState struct {
 	// mu protects jobs and done: For/Run hold the read side while
-	// publishing so that a concurrent Close (write side) can never close
+	// publishing so that a concurrent close (write side) can never close
 	// the channel mid-send.
 	mu   sync.RWMutex
 	jobs chan job
-	// done counts the live workers of the current generation; Close waits
-	// on it so that, when Close returns, no pool goroutine is parked or
+	// done counts the live workers of the current generation; close waits
+	// on it so that, when close returns, no pool goroutine is parked or
 	// mid-chunk.
 	done *sync.WaitGroup
 }
 
 // NewPool returns a pool with the given number of workers (values < 1 are
 // clamped to 1; a one-worker pool runs every loop inline). The workers are
-// not started until the first use. A finalizer closes the pool when it
-// becomes unreachable, so abandoned machines cannot leak parked goroutines.
+// not started until the first use. See the Pool lifetime contract: Close
+// deterministically, or let the AddCleanup hook reap an abandoned pool.
 func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{workers: workers}
-	// Workers hold only the job channel and the done group, not *Pool, so
-	// an unreachable pool is collectable and its finalizer can release the
-	// parked goroutines.
-	runtime.SetFinalizer(p, (*Pool).Close)
+	p := &Pool{workers: workers, state: &poolState{}}
+	// The cleanup argument is the inner state, not p: workers and cleanup
+	// hold only the job channel and the done group, so an unreachable pool
+	// is collectable and the cleanup can release the parked goroutines.
+	runtime.AddCleanup(p, func(st *poolState) { st.close() }, p.state)
 	return p
 }
 
@@ -211,7 +230,7 @@ var (
 // first use. Machines created without an explicit pool run on it.
 func Default() *Pool {
 	defaultOnce.Do(func() {
-		defaultPool = &Pool{workers: runtime.GOMAXPROCS(0)}
+		defaultPool = &Pool{workers: runtime.GOMAXPROCS(0), state: &poolState{}}
 	})
 	return defaultPool
 }
@@ -225,11 +244,13 @@ func (p *Pool) Workers() int { return p.workers }
 // the time Close returns. It is idempotent and safe to call concurrently
 // with For/Run; a subsequent loop restarts the workers lazily. Do not call
 // Close from inside a loop body — a worker cannot wait for itself.
-func (p *Pool) Close() {
-	p.mu.Lock()
-	jobs, done := p.jobs, p.done
-	p.jobs, p.done = nil, nil
-	p.mu.Unlock()
+func (p *Pool) Close() { p.state.close() }
+
+func (st *poolState) close() {
+	st.mu.Lock()
+	jobs, done := st.jobs, st.done
+	st.jobs, st.done = nil, nil
+	st.mu.Unlock()
 	if jobs != nil {
 		close(jobs)
 		done.Wait()
@@ -238,16 +259,17 @@ func (p *Pool) Close() {
 
 // ensure starts the workers if they are not running.
 func (p *Pool) ensure() {
-	p.mu.Lock()
-	if p.jobs == nil {
-		p.jobs = make(chan job, p.workers)
-		p.done = new(sync.WaitGroup)
-		p.done.Add(p.workers)
+	st := p.state
+	st.mu.Lock()
+	if st.jobs == nil {
+		st.jobs = make(chan job, p.workers)
+		st.done = new(sync.WaitGroup)
+		st.done.Add(p.workers)
 		for w := 0; w < p.workers; w++ {
-			go worker(p.jobs, p.done)
+			go worker(st.jobs, st.done)
 		}
 	}
-	p.mu.Unlock()
+	st.mu.Unlock()
 }
 
 func worker(jobs <-chan job, done *sync.WaitGroup) {
@@ -264,25 +286,26 @@ func worker(jobs <-chan job, done *sync.WaitGroup) {
 // Workers draining a stale request after the loop has finished find no
 // chunk to claim and park again immediately.
 func (p *Pool) publish(j job, count int) {
-	p.mu.RLock()
-	if p.jobs == nil {
-		p.mu.RUnlock()
+	st := p.state
+	st.mu.RLock()
+	if st.jobs == nil {
+		st.mu.RUnlock()
 		p.ensure()
-		p.mu.RLock()
+		st.mu.RLock()
 	}
 	helpers := p.workers - 1
 	if helpers > count-1 {
 		helpers = count - 1
 	}
 publish:
-	for h := 0; h < helpers && p.jobs != nil; h++ {
+	for h := 0; h < helpers && st.jobs != nil; h++ {
 		select {
-		case p.jobs <- j:
+		case st.jobs <- j:
 		default:
 			break publish
 		}
 	}
-	p.mu.RUnlock()
+	st.mu.RUnlock()
 }
 
 // countLoop folds one dispatched loop into the process-wide observer's

@@ -1,9 +1,10 @@
 package exec
 
 // Regression tests for the pool's shutdown and robustness paths: Close
-// racing in-flight loops (and the finalizer), cancellation draining every
-// chunk and leaking no goroutines, and stall injection recomputing chunks
-// without double-executing any iteration.
+// racing in-flight loops (and the GC cleanup), cancellation draining
+// every chunk and leaking no goroutines, abandoned pools being reaped,
+// and stall injection recomputing chunks without double-executing any
+// iteration.
 
 import (
 	"context"
@@ -18,10 +19,12 @@ import (
 // loops. Every loop must still execute each iteration exactly once (the
 // caller participates, so a loop finishes even if Close steals the
 // workers), and the test must be race-clean — this is the regression test
-// for Close racing the finalizer / publish during in-flight supersteps.
+// for Close racing the GC cleanup / publish during in-flight supersteps.
+// It ends with a leak check: after the storm, Close must leave no worker
+// goroutine behind.
 func TestCloseConcurrentWithLoops(t *testing.T) {
+	base := runtime.NumGoroutine()
 	p := NewPool(4)
-	defer p.Close()
 	const (
 		loops = 50
 		n     = serialCutoff * 4
@@ -52,6 +55,8 @@ func TestCloseConcurrentWithLoops(t *testing.T) {
 	if got, want := atomic.LoadInt64(&total), int64(gor*loops*n); got != want {
 		t.Fatalf("executed %d iterations, want %d", got, want)
 	}
+	p.Close()
+	waitGoroutines(t, base)
 }
 
 // waitGoroutines polls until the process goroutine count drops to at most
@@ -114,18 +119,18 @@ func TestRunCancelDrainsAndLeaksNothing(t *testing.T) {
 	waitGoroutines(t, base)
 }
 
-// TestFinalizerReleasesAbandonedPools abandons used pools without Close
-// and checks the finalizer eventually releases their parked workers.
-func TestFinalizerReleasesAbandonedPools(t *testing.T) {
+// TestCleanupReleasesAbandonedPools abandons used pools without Close and
+// checks the runtime.AddCleanup hook eventually releases their parked
+// workers — the leak-regression half of the Pool lifetime contract. The
+// cleanup runs asynchronously after a GC observes the Pool unreachable,
+// so the test polls via waitGoroutines (which itself keeps triggering GC)
+// rather than expecting the workers gone after a fixed number of cycles.
+func TestCleanupReleasesAbandonedPools(t *testing.T) {
 	base := runtime.NumGoroutine()
 	for r := 0; r < 8; r++ {
 		p := NewPool(2)
 		p.For(serialCutoff*2, func(i int) {})
 	}
-	// Two GCs: the first queues the finalizers, the second runs after they
-	// have closed the job channels; then the workers drain and exit.
-	runtime.GC()
-	runtime.GC()
 	waitGoroutines(t, base)
 }
 

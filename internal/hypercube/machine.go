@@ -115,6 +115,10 @@ type Machine struct {
 	// link faults. Children inherit both.
 	ctx    context.Context
 	faults *faults.Injector
+
+	// arena recycles Vec storage and child shells (see arena.go); children
+	// share the parent's, Reset releases it.
+	arena *vecArena
 }
 
 // New returns a machine of the given kind with 2^d processors, running on
@@ -127,6 +131,7 @@ func New(kind Kind, d int) *Machine {
 	m := &Machine{
 		kind: kind, d: d, n: 1 << d,
 		pool: exec.Default(), sink: exec.GlobalSink(), faults: faults.Global(),
+		arena: newVecArena(),
 	}
 	if o := obs.Global(); o != nil {
 		m.obsC = o.Site(kind.String())
@@ -137,8 +142,24 @@ func New(kind Kind, d int) *Machine {
 
 // child returns a machine for a recursive subproblem: the given kind and
 // dimension with the parent's pool and sink, keeping recursion on the
-// persistent runtime and in the trace.
+// persistent runtime and in the trace. The shell is recycled from the
+// parent's arena when possible; Subcubes/ParallelDo return it via
+// releaseChild once the branch accounting is harvested.
 func (m *Machine) child(kind Kind, d int) *Machine {
+	if ar := m.arena; ar != nil && d >= 0 {
+		if sub := ar.getMachine(); sub != nil {
+			sub.kind = kind
+			sub.d, sub.n = d, 1<<d
+			sub.time, sub.comm, sub.local, sub.stepID = 0, 0, 0, 0
+			sub.align, sub.hasAlign = 0, false
+			sub.pool, sub.ownPool = m.pool, false
+			sub.sink = m.sink
+			sub.obsC, sub.tracer = m.obsC, m.tracer
+			sub.ctx, sub.faults = m.ctx, m.faults
+			sub.arena = ar
+			return sub
+		}
+	}
 	sub := New(kind, d)
 	sub.pool = m.pool
 	sub.sink = m.sink
@@ -146,7 +167,16 @@ func (m *Machine) child(kind Kind, d int) *Machine {
 	sub.tracer = m.tracer
 	sub.ctx = m.ctx
 	sub.faults = m.faults
+	sub.arena = m.arena
 	return sub
+}
+
+// releaseChild retains a finished branch machine for reuse. Vecs created
+// on the branch stay readable (recycling never touches their cells).
+func (m *Machine) releaseChild(sub *Machine) {
+	if m.arena != nil && !sub.ownPool {
+		m.arena.putMachine(sub)
+	}
 }
 
 // SetWorkers installs a private worker pool with the given worker count,
@@ -333,12 +363,16 @@ func (m *Machine) Comm() int64 { return m.comm }
 // Work returns the total local-operation count.
 func (m *Machine) Work() int64 { return m.local }
 
-// Reset clears the counters and shuts down the machine's private pool, if
-// any (it restarts lazily on the next step; the shared default pool is
-// left running for other machines).
+// Reset clears the counters, releases the scratch arena to the garbage
+// collector, and shuts down the machine's private pool, if any (it
+// restarts lazily on the next step; the shared default pool is left
+// running for other machines).
 func (m *Machine) Reset() {
 	m.time, m.comm, m.local = 0, 0, 0
 	m.hasAlign = false
+	if m.arena != nil {
+		m.arena.release()
+	}
 	if m.ownPool {
 		m.pool.Close()
 	}
@@ -427,6 +461,7 @@ func (m *Machine) Subcubes(k int, body func(c int, sub *Machine)) {
 		}
 		sumComm += sub.comm
 		sumLocal += sub.local
+		m.releaseChild(sub)
 	}
 	m.time += maxTime
 	m.comm += sumComm
@@ -450,6 +485,7 @@ func (m *Machine) ParallelDo(dims []int, body func(b int, sub *Machine)) {
 		}
 		sumComm += sub.comm
 		sumLocal += sub.local
+		m.releaseChild(sub)
 	}
 	m.time += maxTime
 	m.comm += sumComm
@@ -464,8 +500,10 @@ type Vec[T any] struct {
 
 // NewVec allocates a cell on every processor, initialised by init (nil
 // gives zero values). Initialisation is input placement and costs nothing.
+// Storage is recycled from the machine's arena when a freed Vec of the
+// same element type fits.
 func NewVec[T any](m *Machine, init func(p int) T) *Vec[T] {
-	v := &Vec[T]{m: m, vals: make([]T, m.n)}
+	v := &Vec[T]{m: m, vals: vecScratch[T](m, m.n, init == nil)}
 	if init != nil {
 		for p := range v.vals {
 			v.vals[p] = init(p)
@@ -496,7 +534,7 @@ func (v *Vec[T]) Snapshot() []T {
 func Exchange[T any](m *Machine, dim int, v *Vec[T]) *Vec[T] {
 	timeBefore, workBefore, spanStart := m.beginStep()
 	m.exchangeCharge(dim)
-	out := &Vec[T]{m: m, vals: make([]T, m.n)}
+	out := &Vec[T]{m: m, vals: vecScratch[T](m, m.n, false)} // fully overwritten below
 	mask := 1 << dim
 	chunks := m.dispatch(m.n, func(p int) {
 		out.vals[p] = v.vals[p^mask]
@@ -513,10 +551,12 @@ func CondSwap[T any](m *Machine, dim int, v *Vec[T], keep func(p int, mine, thei
 	timeBefore, workBefore, spanStart := m.beginStep()
 	m.exchangeCharge(dim)
 	mask := 1 << dim
-	next := make([]T, m.n)
+	next := vecScratch[T](m, m.n, false) // fully overwritten below
 	chunks := m.dispatch(m.n, func(p int) {
 		next[p] = keep(p, v.vals[p], v.vals[p^mask])
 	})
 	m.finishStep("exchange", m.n, 1, chunks, timeBefore, workBefore, spanStart)
+	old := v.vals
 	v.vals = next
+	putVecScratch(m, old)
 }

@@ -38,6 +38,7 @@ func Scan[T any](m *Machine, v *Vec[T], op func(T, T) T) *Vec[T] {
 				tot.Set(p, op(tot.Get(p), ntot.Get(p)))
 			}
 		})
+		ntot.Free()
 	}
 	return tot
 }
@@ -58,8 +59,10 @@ func ScanExclusive[T any](m *Machine, v *Vec[T], identity T, op func(T, T) T) *V
 				tot.Set(p, op(tot.Get(p), ntot.Get(p)))
 			}
 		})
+		ntot.Free()
 	}
 	m.Local(1, func(p int) { v.Set(p, pre.Get(p)) })
+	pre.Free()
 	return tot
 }
 
@@ -74,13 +77,15 @@ func ShiftPrev[T any](m *Machine, v *Vec[T], fill T) *Vec[T] {
 			return b
 		}
 		return a
-	})
-	return NewVec(m, func(p int) T {
+	}).Free()
+	res := NewVec(m, func(p int) T {
 		if o := out.Get(p); o.Ok {
 			return o.Val
 		}
 		return fill
 	})
+	out.Free()
+	return res
 }
 
 // segPair carries a segmented-scan state.
@@ -100,8 +105,9 @@ func SegScan[T any](m *Machine, v *Vec[T], head *Vec[bool], op func(T, T) T) {
 			return segPair[T]{val: b.val, head: true}
 		}
 		return segPair[T]{val: op(a.val, b.val), head: a.head}
-	})
+	}).Free()
 	m.Local(1, func(p int) { v.Set(p, pairs.Get(p).val) })
+	pairs.Free()
 }
 
 // Broadcast spreads the value processor src holds in v to every processor.
@@ -120,8 +126,10 @@ func Broadcast[T any](m *Machine, src int, v *Vec[T]) {
 				cur.Set(p, ex.Get(p))
 			}
 		})
+		ex.Free()
 	}
 	m.Local(1, func(p int) { v.Set(p, cur.Get(p).Val) })
+	cur.Free()
 }
 
 // ReplicateLow copies the value held by the processor with the same low
@@ -137,6 +145,7 @@ func ReplicateLow[T any](m *Machine, lowBits int, v *Vec[T]) {
 				v.Set(p, ex.Get(p))
 			}
 		})
+		ex.Free()
 	}
 }
 
@@ -159,6 +168,7 @@ func AllGather[T any](m *Machine, k int, v *Vec[T]) *Vec[[]T] {
 			}
 			lists.Set(p, merged)
 		})
+		ex.Free()
 	}
 	return lists
 }
@@ -199,6 +209,7 @@ func routeBits[T any](m *Machine, items *Vec[Opt[routeItem[T]]], ascending bool)
 			}
 			cur.Set(p, mine)
 		})
+		ex.Free()
 	}
 	m.pool.For(m.n, func(p int) {
 		if it := cur.Get(p); it.Ok && it.Val.dst != p {
@@ -221,7 +232,7 @@ func RouteMonotone[T any](m *Machine, items *Vec[Opt[routeItem[T]]]) *Vec[Opt[T]
 		}
 		return 0
 	})
-	Scan(m, ranks, func(a, b int) int { return a + b })
+	Scan(m, ranks, func(a, b int) int { return a + b }).Free()
 	// Concentration: send each item to its rank-1 slot, keeping its final
 	// destination as payload.
 	packedIn := NewVec(m, func(p int) Opt[routeItem[routeItem[T]]] {
@@ -231,7 +242,9 @@ func RouteMonotone[T any](m *Machine, items *Vec[Opt[routeItem[T]]]) *Vec[Opt[T]
 		}
 		return Some(routeItem[routeItem[T]]{val: it.Val, dst: ranks.Get(p) - 1})
 	})
+	ranks.Free()
 	packed := routeBits(m, packedIn, true)
+	packedIn.Free()
 	// Distribution: from the packed prefix to the increasing destinations.
 	spreadIn := NewVec(m, func(p int) Opt[routeItem[T]] {
 		it := packed.Get(p)
@@ -240,14 +253,18 @@ func RouteMonotone[T any](m *Machine, items *Vec[Opt[routeItem[T]]]) *Vec[Opt[T]
 		}
 		return Some(it.Val.val)
 	})
+	packed.Free()
 	final := routeBits(m, spreadIn, false)
-	return NewVec(m, func(p int) Opt[T] {
+	spreadIn.Free()
+	out := NewVec(m, func(p int) Opt[T] {
 		it := final.Get(p)
 		if !it.Ok {
 			return Opt[T]{}
 		}
 		return Some(it.Val.val)
 	})
+	final.Free()
+	return out
 }
 
 // Send wraps per-processor optional payloads and destinations for
@@ -264,7 +281,9 @@ func Send[T any](m *Machine, has func(p int) bool, val func(p int) T, dst func(p
 		}
 		return Some(routeItem[T]{val: val(p), dst: d})
 	})
-	return RouteMonotone(m, items)
+	out := RouteMonotone(m, items)
+	items.Free()
+	return out
 }
 
 // Concentrate packs the present values to the lowest-numbered processors,
@@ -285,7 +304,9 @@ func Concentrate[T any](m *Machine, v *Vec[Opt[T]]) (*Vec[Opt[T]], int) {
 		}
 		return Some(routeItem[T]{val: v.Get(p).Val, dst: ranks.Get(p) - 1})
 	})
+	ranks.Free()
 	routed := routeBits(m, items, true)
+	items.Free()
 	out := NewVec(m, func(p int) Opt[T] {
 		it := routed.Get(p)
 		if !it.Ok {
@@ -293,7 +314,10 @@ func Concentrate[T any](m *Machine, v *Vec[Opt[T]]) (*Vec[Opt[T]], int) {
 		}
 		return Some(it.Val.val)
 	})
-	return out, tot.Get(0)
+	routed.Free()
+	n := tot.Get(0)
+	tot.Free()
+	return out, n
 }
 
 // MonotoneRead returns, at every processor p, the value src[idx(p)], where
@@ -304,6 +328,7 @@ func Concentrate[T any](m *Machine, v *Vec[Opt[T]]) (*Vec[Opt[T]], int) {
 func MonotoneRead[T any](m *Machine, src *Vec[T], idx *Vec[int]) *Vec[T] {
 	prev := ShiftPrev(m, idx, -1)
 	leader := NewVec(m, func(p int) bool { return idx.Get(p) != prev.Get(p) })
+	prev.Free()
 	// Request round: leaders send their own address to the source cell.
 	reqs := Send(m,
 		func(p int) bool { return leader.Get(p) },
@@ -316,15 +341,20 @@ func MonotoneRead[T any](m *Machine, src *Vec[T], idx *Vec[int]) *Vec[T] {
 		func(p int) T { return src.Get(p) },
 		func(p int) int { return reqs.Get(p).Val },
 	)
+	reqs.Free()
 	// Spread within segments.
 	vals := NewVec(m, func(p int) Opt[T] { return reps.Get(p) })
+	reps.Free()
 	SegScan(m, vals, leader, func(a, b Opt[T]) Opt[T] {
 		if b.Ok {
 			return b
 		}
 		return a
 	})
-	return NewVec(m, func(p int) T { return vals.Get(p).Val })
+	leader.Free()
+	out := NewVec(m, func(p int) T { return vals.Get(p).Val })
+	vals.Free()
+	return out
 }
 
 // Reverse returns a Vec holding v in reversed processor order:
@@ -333,7 +363,9 @@ func MonotoneRead[T any](m *Machine, src *Vec[T], idx *Vec[int]) *Vec[T] {
 func Reverse[T any](m *Machine, v *Vec[T]) *Vec[T] {
 	out := NewVec(m, func(p int) T { return v.Get(p) })
 	for k := 0; k < m.d; k++ {
-		out = Exchange(m, k, out)
+		next := Exchange(m, k, out)
+		out.Free()
+		out = next
 	}
 	return out
 }
@@ -345,6 +377,8 @@ func MonotoneReadDec[T any](m *Machine, src *Vec[T], idx *Vec[int]) *Vec[T] {
 	rsrc := Reverse(m, src)
 	ridx := NewVec(m, func(p int) int { return m.n - 1 - idx.Get(p) })
 	out := MonotoneRead(m, rsrc, ridx)
+	rsrc.Free()
+	ridx.Free()
 	return out
 }
 

@@ -102,6 +102,15 @@ type Counters struct {
 	// Searches counts top-level algorithm invocations (the hcmonge driver
 	// entry points).
 	Searches atomic.Int64
+
+	// Arena recycling efficacy: ArenaHits counts scratch-arena checkouts
+	// served from a free-list, ArenaMisses the checkouts that fell through
+	// to the allocator, and BytesRecycled the backing bytes the hits
+	// reissued instead of allocating. A healthy steady state shows misses
+	// plateauing (warm-up only) while hits and bytes keep growing.
+	ArenaHits     atomic.Int64
+	ArenaMisses   atomic.Int64
+	BytesRecycled atomic.Int64
 }
 
 // WordBytes is the simulated size of one exchanged value: every machine
@@ -129,6 +138,9 @@ type CounterSnapshot struct {
 	FaultGarbles      int64 `json:"fault_garbles,omitempty"`
 	FaultTimeouts     int64 `json:"fault_timeouts,omitempty"`
 	Searches          int64 `json:"searches,omitempty"`
+	ArenaHits         int64 `json:"arena_hits,omitempty"`
+	ArenaMisses       int64 `json:"arena_misses,omitempty"`
+	BytesRecycled     int64 `json:"bytes_recycled,omitempty"`
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -152,6 +164,9 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		FaultGarbles:      c.FaultGarbles.Load(),
 		FaultTimeouts:     c.FaultTimeouts.Load(),
 		Searches:          c.Searches.Load(),
+		ArenaHits:         c.ArenaHits.Load(),
+		ArenaMisses:       c.ArenaMisses.Load(),
+		BytesRecycled:     c.BytesRecycled.Load(),
 	}
 }
 
@@ -257,17 +272,18 @@ func (o *Observer) WriteTable(w io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	if _, err := fmt.Fprintf(w, "%-22s %10s %12s %14s %12s %12s %10s %12s %12s %10s %10s %8s %8s\n",
-		"site", "supersteps", "time", "work", "reads", "writes", "conflicts", "link-msgs", "link-bytes", "loops", "chunks", "faults", "searches"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-22s %10s %12s %14s %12s %12s %10s %12s %12s %10s %10s %8s %8s %10s %10s %12s\n",
+		"site", "supersteps", "time", "work", "reads", "writes", "conflicts", "link-msgs", "link-bytes", "loops", "chunks", "faults", "searches", "arena-hit", "arena-miss", "recycled-B"); err != nil {
 		return err
 	}
 	for _, name := range names {
 		s := snap[name]
 		conflicts := s.ConflictsSamePid + s.ConflictsPriority + s.ConflictsCREW
 		faultsTotal := s.FaultStalls + s.FaultDrops + s.FaultGarbles + s.FaultTimeouts
-		if _, err := fmt.Fprintf(w, "%-22s %10d %12d %14d %12d %12d %10d %12d %12d %10d %10d %8d %8d\n",
+		if _, err := fmt.Fprintf(w, "%-22s %10d %12d %14d %12d %12d %10d %12d %12d %10d %10d %8d %8d %10d %10d %12d\n",
 			name, s.Supersteps, s.ChargedTime, s.ChargedWork, s.SharedReads, s.SharedWrites,
-			conflicts, s.LinkMessages, s.LinkBytes, s.PoolLoops, s.PoolChunks, faultsTotal, s.Searches); err != nil {
+			conflicts, s.LinkMessages, s.LinkBytes, s.PoolLoops, s.PoolChunks, faultsTotal, s.Searches,
+			s.ArenaHits, s.ArenaMisses, s.BytesRecycled); err != nil {
 			return err
 		}
 	}

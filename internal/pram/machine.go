@@ -132,9 +132,16 @@ type Machine struct {
 	// array registers itself on its first write of a step and is flushed
 	// and cleared at the step barrier. Tracking only dirty arrays keeps
 	// step cost independent of how many arrays were ever allocated and
-	// lets abandoned temporaries be garbage collected.
+	// lets abandoned temporaries be garbage collected. The backing slice
+	// is retained across steps ([:0] at the barrier), so registration
+	// itself stops allocating after the first step.
 	dirtyMu sync.Mutex
 	dirty   []flusher
+
+	// arena recycles Array storage (see arena.go). ParallelDo children
+	// share the parent's arena, so a subproblem's temporaries feed the
+	// next subproblem; Reset releases it.
+	arena *arrayArena
 }
 
 type flusher interface {
@@ -165,6 +172,7 @@ func New(mode Mode, procs int) *Machine {
 	m := &Machine{
 		mode: mode, procs: procs,
 		pool: exec.Default(), sink: exec.GlobalSink(), faults: faults.Global(),
+		arena: newArrayArena(),
 	}
 	if o := obs.Global(); o != nil {
 		m.obsC = o.Site("pram")
@@ -176,8 +184,28 @@ func New(mode Mode, procs int) *Machine {
 // child returns a machine for a ParallelDo branch: same mode, the given
 // declared processor count, and — crucially — the parent's pool and sink,
 // so recursive subproblems stay on the persistent runtime and remain
-// traced end-to-end instead of silently falling back to a default.
+// traced end-to-end instead of silently falling back to a default. The
+// shell is recycled from the parent's arena when possible; ParallelDo
+// returns it via releaseChild once the branch and its accounting are
+// done.
 func (m *Machine) child(procs int) *Machine {
+	if procs < 1 {
+		procs = 1
+	}
+	if ar := m.arena; ar != nil {
+		if sub := ar.getMachine(); sub != nil {
+			sub.mode = m.mode
+			sub.procs = procs
+			sub.time, sub.steps, sub.work, sub.stepID = 0, 0, 0, 0
+			sub.pool, sub.ownPool = m.pool, false
+			sub.sink = m.sink
+			sub.obsC, sub.tracer = m.obsC, m.tracer
+			sub.ctx, sub.faults = m.ctx, m.faults
+			sub.arena = ar
+			sub.dirty = sub.dirty[:0]
+			return sub
+		}
+	}
 	sub := New(m.mode, procs)
 	sub.pool = m.pool
 	sub.sink = m.sink
@@ -185,7 +213,18 @@ func (m *Machine) child(procs int) *Machine {
 	sub.tracer = m.tracer
 	sub.ctx = m.ctx
 	sub.faults = m.faults
+	sub.arena = m.arena
 	return sub
+}
+
+// releaseChild retains a finished branch machine for reuse by a later
+// child call. Arrays created on the branch stay readable (recycling
+// never touches committed array state); writing them is already outside
+// the ParallelDo contract.
+func (m *Machine) releaseChild(sub *Machine) {
+	if m.arena != nil && !sub.ownPool {
+		m.arena.putMachine(sub)
+	}
 }
 
 // SetWorkers installs a private worker pool with the given worker count,
@@ -250,12 +289,16 @@ func (m *Machine) Steps() int64 { return m.steps }
 // by per-step cost (the processor-time product of the simulated program).
 func (m *Machine) Work() int64 { return m.work }
 
-// Reset clears the cost counters (registered arrays keep their contents)
-// and shuts down the machine's private pool, if any; the pool restarts
-// lazily if the machine is used again. The shared default pool is left
-// running for other machines.
+// Reset clears the cost counters (registered arrays keep their contents),
+// releases the scratch arena to the garbage collector, and shuts down the
+// machine's private pool, if any; the pool restarts lazily if the machine
+// is used again. The shared default pool is left running for other
+// machines.
 func (m *Machine) Reset() {
 	m.time, m.steps, m.work = 0, 0, 0
+	if m.arena != nil {
+		m.arena.release()
+	}
 	if m.ownPool {
 		m.pool.Close()
 	}
@@ -413,9 +456,15 @@ type Array[T any] struct {
 	shards [shardCount]shard[T]
 }
 
-// NewArray allocates a shared array of length n filled with the zero
-// value on machine m.
+// NewArray returns a shared array of length n filled with the zero value
+// on machine m. Storage comes from the machine's scratch arena when a
+// previously Freed array of the same element type fits (zeroed at
+// checkout, so the zero-value contract holds either way); otherwise it is
+// freshly allocated.
 func NewArray[T any](m *Machine, n int) *Array[T] {
+	if a := checkoutArray[T](m, n); a != nil {
+		return a
+	}
 	return &Array[T]{
 		m:     m,
 		vals:  make([]T, n),

@@ -29,6 +29,7 @@ func (m *Machine) ParallelDo(procs []int, body func(b int, sub *Machine)) {
 			maxSteps = sub.steps
 		}
 		sumWork += sub.work
+		m.releaseChild(sub)
 	}
 	m.time += maxTime
 	m.steps += maxSteps

@@ -122,6 +122,7 @@ func Pack[T any](m *Machine, a *Array[T], flag *Array[bool]) (*Array[T], int) {
 			out.Write(id, pos.Read(id)-1, a.Read(id))
 		}
 	})
+	pos.Free()
 	return out, total
 }
 
@@ -142,6 +143,7 @@ func SegScan[T any](m *Machine, a *Array[T], head *Array[bool], op func(T, T) T)
 			}
 		})
 	}
+	h.Free()
 }
 
 // CRCWMinIndex returns the minimum of vals[0:n] with leftmost
@@ -160,7 +162,9 @@ func CRCWMinIndex(m *Machine, vals *Array[float64]) ValIdx {
 		cur.Write(id, id, ValIdx{V: vals.Read(id), I: id})
 	})
 	if m.Mode() != CRCW {
-		return Reduce(m, cur, MinVI)
+		v := Reduce(m, cur, MinVI)
+		cur.Free()
+		return v
 	}
 	for size := n; size > 4; {
 		b := isqrt(size)
@@ -191,6 +195,7 @@ func CRCWMinIndex(m *Machine, vals *Array[float64]) ValIdx {
 			}
 		})
 		size = nb
+		loser.Free()
 	}
 	// Finish the (constant-size) remainder with one tiny reduction.
 	final := ValIdx{V: cur.Read(0).V, I: cur.Read(0).I}
@@ -201,6 +206,7 @@ func CRCWMinIndex(m *Machine, vals *Array[float64]) ValIdx {
 	for i := 1; i < sz; i++ {
 		final = MinVI(final, cur.Read(i))
 	}
+	cur.Free()
 	return final
 }
 

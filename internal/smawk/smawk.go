@@ -67,21 +67,32 @@ func greater(x, y float64) bool { return x > y }
 
 // run executes SMAWK returning leftmost best entries per row.
 func run(a marray.Matrix, better func(x, y float64) bool) []int {
+	out := make([]int, a.Rows())
+	w := getWS()
+	defer putWS(w)
+	runInto(w, a, better, out)
+	return out
+}
+
+// runInto executes SMAWK into a caller-provided answer slice, drawing all
+// recursion scratch from w. The staircase solver routes its Monge feasible
+// regions through here so one workspace serves the whole decomposition.
+func runInto(w *workspace, a marray.Matrix, better func(x, y float64) bool, out []int) {
 	m, n := a.Rows(), a.Cols()
-	out := make([]int, m)
 	if m == 0 || n == 0 {
-		return out
+		return
 	}
-	rows := make([]int, m)
-	cols := make([]int, n)
+	mark := w.mark()
+	defer w.rewind(mark)
+	rows := w.ints.Alloc(m)
+	cols := w.ints.Alloc(n)
 	for i := range rows {
 		rows[i] = i
 	}
 	for j := range cols {
 		cols[j] = j
 	}
-	solve(a, better, rows, cols, out)
-	return out
+	solve(w, a, better, rows, cols, out)
 }
 
 // runRightmost executes SMAWK with rightmost tie-breaking, used by the
@@ -96,15 +107,17 @@ func runRightmost(a marray.Matrix, better func(x, y float64) bool) []int {
 	if m == 0 || n == 0 {
 		return out
 	}
-	rows := make([]int, m)
-	cols := make([]int, n)
+	w := getWS()
+	defer putWS(w)
+	rows := w.ints.Alloc(m)
+	cols := w.ints.Alloc(n)
 	for i := range rows {
 		rows[i] = i
 	}
 	for j := range cols {
 		cols[j] = j
 	}
-	solveRightmost(a, better, betterEq, rows, cols, out)
+	solveRightmost(w, a, better, betterEq, rows, cols, out)
 	return out
 }
 
@@ -112,14 +125,16 @@ func runRightmost(a marray.Matrix, better func(x, y float64) bool) []int {
 // contain any row's leftmost optimum, the recursion solves odd-indexed
 // rows, and INTERPOLATE fills even-indexed rows with a linear scan between
 // the neighbouring odd answers.
-func solve(a marray.Matrix, better func(x, y float64) bool, rows, cols []int, out []int) {
+func solve(w *workspace, a marray.Matrix, better func(x, y float64) bool, rows, cols []int, out []int) {
 	if len(rows) == 0 {
 		return
 	}
+	mark := w.mark()
+	defer w.rewind(mark)
 	// REDUCE: maintain a stack of surviving columns; column c kills the top
 	// of the stack if c is strictly better at the row indexed by the
 	// current stack height. Strictness keeps the leftmost optimum.
-	stack := make([]int, 0, len(rows))
+	stack := w.ints.Alloc(len(rows))[:0]
 	for _, c := range cols {
 		for len(stack) > 0 && better(a.At(rows[len(stack)-1], c), a.At(rows[len(stack)-1], stack[len(stack)-1])) {
 			stack = stack[:len(stack)-1]
@@ -131,11 +146,11 @@ func solve(a marray.Matrix, better func(x, y float64) bool, rows, cols []int, ou
 	cols = stack
 
 	// Recurse on odd-indexed rows.
-	odd := make([]int, 0, len(rows)/2)
+	odd := w.ints.Alloc(len(rows) / 2)[:0]
 	for i := 1; i < len(rows); i += 2 {
 		odd = append(odd, rows[i])
 	}
-	solve(a, better, odd, cols, out)
+	solve(w, a, better, odd, cols, out)
 
 	// INTERPOLATE: row 2i's optimum lies between the optima of rows 2i-1
 	// and 2i+1 (inclusive), by monotonicity of the leftmost optimum.
@@ -163,11 +178,13 @@ func solve(a marray.Matrix, better func(x, y float64) bool, rows, cols []int, ou
 // solveRightmost mirrors solve but keeps the rightmost optimum: the kill
 // test uses better-or-equal and the interpolation scan prefers later
 // columns on ties.
-func solveRightmost(a marray.Matrix, better, betterEq func(x, y float64) bool, rows, cols []int, out []int) {
+func solveRightmost(w *workspace, a marray.Matrix, better, betterEq func(x, y float64) bool, rows, cols []int, out []int) {
 	if len(rows) == 0 {
 		return
 	}
-	stack := make([]int, 0, len(rows))
+	mark := w.mark()
+	defer w.rewind(mark)
+	stack := w.ints.Alloc(len(rows))[:0]
 	for _, c := range cols {
 		for len(stack) > 0 && betterEq(a.At(rows[len(stack)-1], c), a.At(rows[len(stack)-1], stack[len(stack)-1])) {
 			stack = stack[:len(stack)-1]
@@ -178,11 +195,11 @@ func solveRightmost(a marray.Matrix, better, betterEq func(x, y float64) bool, r
 	}
 	cols = stack
 
-	odd := make([]int, 0, len(rows)/2)
+	odd := w.ints.Alloc(len(rows) / 2)[:0]
 	for i := 1; i < len(rows); i += 2 {
 		odd = append(odd, rows[i])
 	}
-	solveRightmost(a, better, betterEq, odd, cols, out)
+	solveRightmost(w, a, better, betterEq, odd, cols, out)
 
 	ci := 0
 	for ri := 0; ri < len(rows); ri += 2 {

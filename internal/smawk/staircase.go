@@ -22,12 +22,14 @@ func StaircaseRowMinima(a marray.Matrix) []int {
 	if m == 0 {
 		return out
 	}
-	f := make([]int, m)
+	w := getWS()
+	defer putWS(w)
+	f := w.ints.Alloc(m)
 	for i := 0; i < m; i++ {
 		f[i] = marray.BoundaryOf(a, i)
 	}
-	s := &stairSolver{a: a, f: f, n: n}
-	rows := make([]int, m)
+	s := &stairSolver{a: a, f: f, n: n, w: w}
+	rows := w.ints.Alloc(m)
 	for i := range rows {
 		rows[i] = i
 	}
@@ -94,6 +96,7 @@ type stairSolver struct {
 	a marray.Matrix
 	f []int // first blocked column per global row
 	n int
+	w *workspace
 }
 
 // eff returns the exclusive end of row r's finite range inside a window
@@ -109,7 +112,9 @@ func (s *stairSolver) eff(r, c1 int) int {
 // over columns [c0, c1). The sub-array induced by any increasing row subset
 // and column window of a staircase-Monge array is staircase-Monge.
 func (s *stairSolver) solve(rows []int, c0, c1 int) []cand {
-	res := make([]cand, len(rows))
+	// res is the frame's result: allocated before the mark so it survives
+	// into the caller, whose own rewind reclaims it after the merge.
+	res := s.w.cands.Alloc(len(rows))
 	for i := range res {
 		res[i] = worst()
 	}
@@ -123,17 +128,21 @@ func (s *stairSolver) solve(rows []int, c0, c1 int) []cand {
 		}
 		return res
 	}
+	mark := s.w.mark()
+	defer s.w.rewind(mark)
 
 	step := intSqrt(len(rows)) // sample every step-th row
 	if step < 2 {
 		step = 2
 	}
-	var sampledPos []int
+	nS := 0
 	for p := step - 1; p < len(rows); p += step {
-		sampledPos = append(sampledPos, p)
+		nS++
 	}
-	sampledRows := make([]int, len(sampledPos))
-	for i, p := range sampledPos {
+	sampledPos := s.w.ints.Alloc(nS)
+	sampledRows := s.w.ints.Alloc(nS)
+	for i, p := 0, step-1; p < len(rows); i, p = i+1, p+step {
+		sampledPos[i] = p
 		sampledRows[i] = rows[p]
 	}
 	sres := s.solve(sampledRows, c0, c1)
@@ -164,6 +173,8 @@ func (s *stairSolver) solve(rows []int, c0, c1 int) []cand {
 // window-local minima of the sampled rows bracketing the gap. g is the
 // index of the sampled row below the gap (g == len(sampledPos) means none).
 func (s *stairSolver) solveGap(rows []int, res []cand, gapStart, gapEnd, g int, sampledPos []int, sres []cand, c0, c1 int) {
+	mark := s.w.mark()
+	defer s.w.rewind(mark)
 	// Lower bound from the sampled row above the gap (claim: for a row x
 	// with f_x > cp, the leftmost window minimum is >= cp, by a Monge
 	// exchange with the row above).
@@ -186,13 +197,22 @@ func (s *stairSolver) solveGap(rows []int, res []cand, gapStart, gapEnd, g int, 
 	// (the Monge lower bound applies) and "crossed" rows whose boundary has
 	// cut at or left of lb (their whole finite range reopens; these are the
 	// staircase feasible regions of Figure 2.2 and recurse).
-	var cleanPos, crossedPos []int
+	nClean, nCrossed := 0, 0
 	for p := gapStart; p < gapEnd; p++ {
-		r := rows[p]
-		if s.eff(r, c1) <= c0 {
+		if e := s.eff(rows[p], c1); e <= c0 {
 			continue // fully blocked in the window; stays -1
+		} else if e > lb {
+			nClean++
+		} else {
+			nCrossed++
 		}
-		if s.eff(r, c1) > lb {
+	}
+	cleanPos := s.w.ints.Alloc(nClean)[:0]
+	crossedPos := s.w.ints.Alloc(nCrossed)[:0]
+	for p := gapStart; p < gapEnd; p++ {
+		if e := s.eff(rows[p], c1); e <= c0 {
+			continue
+		} else if e > lb {
 			cleanPos = append(cleanPos, p)
 		} else {
 			crossedPos = append(crossedPos, p)
@@ -210,7 +230,10 @@ func (s *stairSolver) solveGap(rows []int, res []cand, gapStart, gapEnd, g int, 
 		// Staircase tail region: columns [effq, c1), rows whose boundary
 		// extends past effq.
 		if effq < c1 {
-			s.recurseInto(rows, res, append(append([]int(nil), cleanPos...), crossedPos...), effq, c1)
+			all := s.w.ints.Alloc(len(cleanPos) + len(crossedPos))
+			copy(all, cleanPos)
+			copy(all[len(cleanPos):], crossedPos)
+			s.recurseInto(rows, res, all, effq, c1)
 		}
 		// Crossed rows also reopen columns [c0, cq+1) up to their own
 		// boundary.
@@ -242,7 +265,8 @@ func (s *stairSolver) mongeRegion(rows []int, res []cand, pos []int, jLo, jHi in
 		N: jHi - jLo + 1,
 		F: func(i, j int) float64 { return s.a.At(rows[pos[i]], jLo+j) },
 	}
-	idx := RowMinima(sub)
+	idx := s.w.ints.Alloc(len(pos))
+	runInto(s.w, sub, less, idx)
 	for i, p := range pos {
 		col := jLo + idx[i]
 		c := cand{col: col, val: s.a.At(rows[p], col)}
@@ -258,7 +282,7 @@ func (s *stairSolver) recurseInto(rows []int, res []cand, pos []int, c0, c1 int)
 	if len(pos) == 0 || c0 >= c1 {
 		return
 	}
-	subRows := make([]int, len(pos))
+	subRows := s.w.ints.Alloc(len(pos))
 	for i, p := range pos {
 		subRows[i] = rows[p]
 	}

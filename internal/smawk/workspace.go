@@ -1,0 +1,41 @@
+package smawk
+
+import (
+	"sync"
+
+	"monge/internal/scratch"
+)
+
+// workspace bundles the scratch arenas behind one sequential search: the
+// SMAWK recursion's row/column/stack index slices and the staircase
+// solver's candidate frames all come from here instead of per-level make.
+// Workspaces are pooled, so back-to-back queries of the same shape run
+// allocation-free after the first; the arena blocks persist across
+// checkouts and are rewound, not freed.
+//
+// Discipline: every recursion level marks on entry and rewinds on exit;
+// a callee's result slice is allocated BEFORE its mark so it survives
+// into the caller, whose own rewind reclaims it after the merge.
+type workspace struct {
+	ints  scratch.Arena[int]
+	cands scratch.Arena[cand]
+}
+
+type wsMark struct{ ints, cands scratch.Mark }
+
+func (w *workspace) mark() wsMark { return wsMark{w.ints.Mark(), w.cands.Mark()} }
+
+func (w *workspace) rewind(m wsMark) {
+	w.ints.Rewind(m.ints)
+	w.cands.Rewind(m.cands)
+}
+
+var wsPool = sync.Pool{New: func() any { return new(workspace) }}
+
+func getWS() *workspace { return wsPool.Get().(*workspace) }
+
+func putWS(w *workspace) {
+	w.ints.Reset()
+	w.cands.Reset()
+	wsPool.Put(w)
+}

@@ -50,6 +50,9 @@
 package monge
 
 import (
+	"context"
+
+	"monge/internal/batch"
 	"monge/internal/core"
 	"monge/internal/hcmonge"
 	hc "monge/internal/hypercube"
@@ -355,6 +358,67 @@ func TubeMinimaPRAM(mach *PRAM, c Composite) (idx [][]int, vals [][]float64, err
 func MustTubeMinimaPRAM(mach *PRAM, c Composite) ([][]int, [][]float64) {
 	return core.TubeMinima(mach, c)
 }
+
+// --- Batched queries --------------------------------------------------------
+
+// BatchDriver amortizes simulated-machine construction across many PRAM
+// searches: it keeps one machine per shape class (distinct processor
+// count) and routes every query of that shape through it, so the
+// machine's scratch arenas reach steady state once and later same-shape
+// queries run essentially allocation-free. Results are index-exact with
+// the corresponding one-at-a-time entry points.
+//
+// A BatchDriver is not goroutine-safe. Call Close when the batch is done
+// to release the retained machines' arenas; the driver is reusable
+// afterwards.
+type BatchDriver struct{ d *batch.Driver }
+
+// NewBatchDriver returns a driver whose machines use the given PRAM mode.
+func NewBatchDriver(mode Mode) *BatchDriver { return &BatchDriver{d: batch.New(mode)} }
+
+// SetContext attaches ctx to every machine the driver holds or later
+// creates; cancellation aborts the running query with ErrCanceled.
+func (b *BatchDriver) SetContext(ctx context.Context) { b.d.SetContext(ctx) }
+
+// RowMinima is RowMinimaPRAM on the driver's machine for a's shape class.
+func (b *BatchDriver) RowMinima(a Matrix) (idx []int, err error) {
+	if err = marray.CheckMongeSampled(a); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = b.d.RowMinima(a) })
+	return idx, err
+}
+
+// RowMinimaBatch answers every query through the per-shape machines.
+// All inputs are screened before any query runs, so a bad array in the
+// middle of the batch cannot leave half the answers computed.
+func (b *BatchDriver) RowMinimaBatch(as []Matrix) (idx [][]int, err error) {
+	for _, a := range as {
+		if err = marray.CheckMongeSampled(a); err != nil {
+			return nil, err
+		}
+	}
+	err = catchInto(func() { idx = b.d.RowMinimaBatch(as) })
+	return idx, err
+}
+
+// TubeMaximaBatch is TubeMaximaPRAM for a batch of Monge-composite
+// arrays, one retained machine per shape class.
+func (b *BatchDriver) TubeMaximaBatch(cs []Composite) (idx [][][]int, vals [][][]float64, err error) {
+	for _, c := range cs {
+		if err = marray.CheckMongeSampled(c.D); err != nil {
+			return nil, nil, err
+		}
+		if err = marray.CheckMongeSampled(c.E); err != nil {
+			return nil, nil, err
+		}
+	}
+	err = catchInto(func() { idx, vals = b.d.TubeMaximaBatch(cs) })
+	return idx, vals, err
+}
+
+// Close resets the retained machines, releasing their scratch arenas.
+func (b *BatchDriver) Close() { b.d.Close() }
 
 // --- Hypercube and constant-degree networks -------------------------------
 
