@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"monge/internal/core"
 	"monge/internal/dp"
@@ -27,6 +29,7 @@ import (
 	"monge/internal/obs"
 	"monge/internal/pram"
 	"monge/internal/rect"
+	"monge/internal/serve"
 	"monge/internal/smawk"
 	"monge/internal/stredit"
 	"monge/internal/transport"
@@ -676,4 +679,62 @@ func BenchmarkObsOverhead(b *testing.B) {
 		obs.SetGlobal(o)
 		run(b)
 	})
+}
+
+// --- Concurrent serving: DriverPool throughput -----------------------------
+
+// BenchmarkDriverPoolThroughput measures end-to-end queries/sec of the
+// sharded serving layer on an n=1024 row-minima mix (implicit-backed, so
+// the per-shard tile caches participate), at 1, 2, 4, and GOMAXPROCS
+// workers. The headline metric is queries/s; wall-clock scaling across
+// the worker ladder is what BENCH_throughput.json records and CI gates.
+// On a single-core runner the ladder is flat by construction — the
+// recorded baseline carries the cpu count for exactly that reason.
+func BenchmarkDriverPoolThroughput(b *testing.B) {
+	const n = 1024
+	const queriesPerOp = 32
+	rng := rand.New(rand.NewSource(1))
+	// Distinct matrices, round-robined, so shards can't ride one warm
+	// tile working set.
+	mats := make([]Matrix, 8)
+	for i := range mats {
+		d := marray.RandomMonge(rng, n, n)
+		mats[i] = marray.Func{M: n, N: n, F: d.At}
+	}
+	ladder := []int{1, 2, 4}
+	if gmp := runtime.GOMAXPROCS(0); gmp != 1 && gmp != 2 && gmp != 4 {
+		ladder = append(ladder, gmp)
+	}
+	for _, w := range ladder {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			pool := serve.New(pram.CRCW, serve.Options{Workers: w})
+			defer pool.Close()
+			tickets := make([]*serve.Ticket, queriesPerOp)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for q := 0; q < queriesPerOp; q++ {
+					t, err := pool.Submit(serve.Query{Kind: serve.RowMinima, A: mats[q%len(mats)]})
+					if err != nil {
+						b.Fatal(err)
+					}
+					tickets[q] = t
+				}
+				for _, t := range tickets {
+					if res := t.Result(); res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*queriesPerOp)/elapsed.Seconds(), "queries/s")
+			st := pool.Stats()
+			b.ReportMetric(float64(st.Imbalance), "imbalance")
+			if probes := st.CacheHits + st.CacheMisses; probes > 0 {
+				b.ReportMetric(100*float64(st.CacheHits)/float64(probes), "cache-hit-%")
+			}
+		})
+	}
 }

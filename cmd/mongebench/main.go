@@ -5,7 +5,8 @@
 // Usage:
 //
 //	mongebench [-exp all|t11|t12|t13|fig11|app1|app2|app3|app4] [-maxn 2048] [-seed 1]
-//	           [-batch N] [-timeout 30s] [-faults 0.05] [-fault-seed 1]
+//	           [-batch N] [-serve] [-workers W] [-qps Q] [-queries N]
+//	           [-timeout 30s] [-faults 0.05] [-fault-seed 1]
 //	           [-metrics] [-trace-out trace.json] [-profile cpu.pprof]
 //
 // With -batch N, the command runs N same-shape queries per ladder size
@@ -13,6 +14,15 @@
 // experiments: one retained machine per shape class answers the whole
 // batch, and each row reports the amortized per-query wall time next to
 // the fresh-machine-per-query baseline with an index-exactness check.
+//
+// With -serve, the command drives a synthetic mix of row-minima,
+// staircase, and tube queries through the concurrent driver pool
+// (internal/serve): -workers shards, optionally throttled to -qps
+// submissions per second, -queries total. It reports achieved
+// queries/sec, the per-shard query split and imbalance, and the
+// tile-cache hit rate, and checks every answer index-for-index against
+// the sequential facade. -faults and -timeout compose with it like with
+// every other experiment.
 //
 // Each row reports the charged time of the simulated machine at a ladder
 // of sizes plus the "shape ratio" time/bound(n), which should stay roughly
@@ -69,6 +79,8 @@ import (
 	"monge/internal/obs"
 	"monge/internal/pram"
 	"monge/internal/rect"
+	"monge/internal/serve"
+	"monge/internal/smawk"
 	"monge/internal/stredit"
 )
 
@@ -81,6 +93,10 @@ var (
 	maxN      int
 	seed      int64
 	batchN    int
+	serveOn   bool
+	workersN  int
+	qpsLimit  float64
+	queriesN  int
 	traceFlag string
 	timeout   time.Duration
 	faultRate float64
@@ -135,6 +151,10 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 	fs.IntVar(&maxN, "maxn", 2048, "largest problem size in the ladder")
 	fs.Int64Var(&seed, "seed", 1, "workload seed")
 	fs.IntVar(&batchN, "batch", 0, "run N same-shape queries per ladder size through the batched driver (internal/batch) instead of the -exp experiments, comparing amortized cost against fresh machines")
+	fs.BoolVar(&serveOn, "serve", false, "drive a synthetic query mix through the concurrent driver pool (internal/serve) instead of the -exp experiments, reporting throughput, shard balance, and cache traffic")
+	fs.IntVar(&workersN, "workers", 0, "driver-pool worker count for -serve (0 = GOMAXPROCS)")
+	fs.Float64Var(&qpsLimit, "qps", 0, "throttle -serve submissions to this many queries per second (0 = unthrottled)")
+	fs.IntVar(&queriesN, "queries", 256, "total queries submitted by -serve")
 	fs.StringVar(&traceFlag, "trace", "", "write aggregated per-step runtime counters as JSON to this file (\"-\" for stdout)")
 	fs.DurationVar(&timeout, "timeout", 0, "cancel the run after this duration (0 = no deadline)")
 	fs.Float64Var(&faultRate, "faults", 0, "per-unit fault injection rate in (0, 0.9]; 0 disables injection")
@@ -209,7 +229,13 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 			failed = true
 		}
 	}
-	if batchN > 0 {
+	if serveOn {
+		matched = true
+		if err := runExperiment(serveExp); err != nil {
+			fmt.Fprintf(errw, "\nserve experiment aborted: %v\n", err)
+			failed = true
+		}
+	} else if batchN > 0 {
 		matched = true
 		if err := runExperiment(func() { batchExp(batchN) }); err != nil {
 			fmt.Fprintf(errw, "\nbatch experiment aborted: %v\n", err)
@@ -617,6 +643,109 @@ func batchExp(k int) {
 		freshT := time.Since(start)
 		printf("%8d %14v %14v %8.1fx %8s\n", n, batchT/time.Duration(k), freshT/time.Duration(k),
 			float64(freshT)/float64(batchT), match)
+	}
+}
+
+// serveExp drives the concurrent driver pool (internal/serve) with a
+// synthetic mix of row-minima, staircase, and tube queries, optionally
+// throttled to -qps, and reports achieved throughput, shard balance,
+// and tile-cache traffic. Every answer is checked index-for-index
+// against the sequential facade computed up front — concurrency must
+// never change an answer. The -faults and -timeout flags pass through:
+// machines inside the pool attach the process-global injector and the
+// run's context like every other experiment.
+func serveExp() {
+	rng := rand.New(rand.NewSource(seed))
+	n := min(maxN, 512)
+	tubeN := min(n, 24)
+
+	// A small rotating set of distinct inputs, implicit-backed so the
+	// per-shard tile caches participate.
+	type prep struct {
+		q    serve.Query
+		idx  []int
+		tubJ [][]int
+	}
+	var mix []prep
+	for i := 0; i < 4; i++ {
+		a := marray.RandomMonge(rng, n, n)
+		f := marray.Func{M: n, N: n, F: a.At}
+		mix = append(mix, prep{q: serve.Query{Kind: serve.RowMinima, A: f}, idx: smawk.RowMinima(a)})
+	}
+	s := marray.RandomStaircaseMonge(rng, n, n)
+	sf := marray.Func{M: n, N: n, F: s.At}
+	mix = append(mix, prep{q: serve.Query{Kind: serve.StaircaseRowMinima, A: sf}, idx: smawk.StaircaseRowMinima(s)})
+	c := marray.RandomComposite(rng, tubeN, tubeN, tubeN)
+	tj, _ := smawk.TubeMaxima(c)
+	mix = append(mix, prep{q: serve.Query{Kind: serve.TubeMaxima, C: c}, tubJ: tj})
+
+	pool := serve.New(pram.CRCW, serve.Options{Workers: workersN, Context: benchCtx})
+	defer pool.Close()
+	printf("\n== Concurrent serving: %d queries, %d workers", queriesN, pool.Workers())
+	if qpsLimit > 0 {
+		printf(", throttled to %.0f qps", qpsLimit)
+	}
+	printf(" ==\n")
+
+	var throttle <-chan time.Time
+	if qpsLimit > 0 {
+		tick := time.NewTicker(time.Duration(float64(time.Second) / qpsLimit))
+		defer tick.Stop()
+		throttle = tick.C
+	}
+	tickets := make([]*serve.Ticket, queriesN)
+	start := time.Now()
+	for i := 0; i < queriesN; i++ {
+		if throttle != nil {
+			<-throttle
+		}
+		t, err := pool.Submit(mix[i%len(mix)].q)
+		if err != nil {
+			merr.Throw(err)
+		}
+		tickets[i] = t
+	}
+	mismatches := 0
+	for i, t := range tickets {
+		res := t.Result()
+		if res.Err != nil {
+			merr.Throw(res.Err)
+		}
+		want := mix[i%len(mix)]
+		for r := range want.idx {
+			if res.Idx[r] != want.idx[r] {
+				mismatches++
+			}
+		}
+		for x := range want.tubJ {
+			for k := range want.tubJ[x] {
+				if res.TubeJ[x][k] != want.tubJ[x][k] {
+					mismatches++
+				}
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := pool.Stats()
+	match := "ok"
+	if mismatches > 0 {
+		match = fmt.Sprintf("%d MISMATCHES", mismatches)
+	}
+	hitRate := 0.0
+	if probes := st.CacheHits + st.CacheMisses; probes > 0 {
+		hitRate = float64(st.CacheHits) / float64(probes)
+	}
+	printf("%10s %12s %10s %10s %12s %8s\n", "queries", "elapsed", "qps", "imbalance", "cache-hit%", "match")
+	printf("%10d %12v %10.0f %10d %11.1f%% %8s\n", st.Queries, elapsed.Round(time.Millisecond),
+		float64(st.Queries)/elapsed.Seconds(), st.Imbalance, 100*hitRate, match)
+	printf("   per-shard queries:")
+	for _, q := range st.PerWorker {
+		printf(" %d", q)
+	}
+	printf("\n")
+	if mismatches > 0 {
+		merr.Throwf(merr.ErrNotMonge, "serve: %d index mismatches against the sequential facade", mismatches)
 	}
 }
 

@@ -38,6 +38,30 @@ func TestTimeoutExitsNonzero(t *testing.T) {
 	}
 }
 
+// TestServeModeReportsThroughput smoke-tests the -serve driver-pool
+// mode: a small run must exit 0, report its throughput line with every
+// answer matching the sequential facade, and honor -timeout with the
+// standard non-zero abort.
+func TestServeModeReportsThroughput(t *testing.T) {
+	code, stdout, stderr := run(t, "-serve", "-maxn", "64", "-queries", "32", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Concurrent serving") || !strings.Contains(stdout, "ok") {
+		t.Fatalf("missing throughput report:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "MISMATCH") {
+		t.Fatalf("served answers diverged from the sequential facade:\n%s", stdout)
+	}
+	code, _, stderr = run(t, "-serve", "-maxn", "64", "-queries", "8", "-timeout", "1ns")
+	if code == 0 {
+		t.Error("-serve -timeout 1ns exited 0; cancelled runs must fail")
+	}
+	if !strings.Contains(stderr, "aborted") {
+		t.Errorf("-serve timeout stderr does not report the abort:\n%s", stderr)
+	}
+}
+
 func TestUnknownExperimentExitsUsage(t *testing.T) {
 	code, _, stderr := run(t, "-exp", "nope")
 	if code != 2 {
@@ -77,7 +101,7 @@ func parseMetrics(t *testing.T, stdout string) map[string]metricsRow {
 	}
 	for _, ln := range lines[start:] {
 		f := strings.Fields(ln)
-		if len(f) != 16 { // site + 15 counter columns (see obs.WriteTable)
+		if len(f) != 21 { // site + 20 counter columns (see obs.WriteTable)
 			continue
 		}
 		rows[f[0]] = metricsRow{

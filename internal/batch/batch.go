@@ -8,30 +8,41 @@
 // the same shape runs essentially allocation-free.
 //
 // A Driver is NOT goroutine-safe: queries share machines and their
-// arenas. Batched results are index-exact with the one-at-a-time facade
-// calls — the fuzz and table tests in this package and in the root
-// package are the guard.
+// arenas. The serving layer (internal/serve) gets concurrency by giving
+// each worker goroutine a private Driver and sharding the query stream
+// across them. Batched results are index-exact with the one-at-a-time
+// facade calls — the fuzz and table tests in this package and in the
+// root package are the guard.
 package batch
 
 import (
 	"context"
 
 	"monge/internal/core"
+	"monge/internal/faults"
 	"monge/internal/marray"
 	"monge/internal/pram"
 )
 
 // Driver runs searching queries on recycled per-shape machines.
 type Driver struct {
-	mode     pram.Mode
-	ctx      context.Context
-	machines map[int]*pram.Machine // keyed by declared processor count
+	mode pram.Mode
+	ctx  context.Context
+	// injector/haveInjector distinguish "never set" (machines keep the
+	// process-wide faults.Global default that pram.New attaches) from an
+	// explicit SetFaults(nil), which disables injection.
+	injector     *faults.Injector
+	haveInjector bool
+	// machineWorkers, when positive, gives every machine a private
+	// worker pool of that size instead of the shared exec.Default pool.
+	machineWorkers int
+	machines       map[int]*pram.Machine // keyed by normalized processor count
 }
 
 // New returns a Driver whose machines use the given PRAM mode. Close
 // releases the retained machines' arenas when the batch is done.
 func New(mode pram.Mode) *Driver {
-	return &Driver{mode: mode, machines: make(map[int]*pram.Machine)}
+	return &Driver{mode: mode}
 }
 
 // SetContext attaches ctx to every machine the driver holds or later
@@ -44,13 +55,50 @@ func (d *Driver) SetContext(ctx context.Context) {
 	}
 }
 
-// machineFor returns the retained machine declaring procs processors,
-// creating it on first use. Counters accumulate across queries; callers
-// that need per-query costs should diff Machine.Time/Work around a call.
-func (d *Driver) machineFor(procs int) *pram.Machine {
-	if procs < 1 {
-		procs = 1
+// SetFaults attaches the fault injector to every machine the driver
+// holds or later creates (nil disables injection). Drivers that never
+// call SetFaults keep the machines' default, the process-wide
+// faults.Global injector — the passthrough the serving layer relies on.
+func (d *Driver) SetFaults(in *faults.Injector) {
+	d.injector, d.haveInjector = in, true
+	for _, m := range d.machines {
+		m.SetFaults(in)
 	}
+}
+
+// SetMachineWorkers gives every retained and future machine a private
+// worker pool of w workers (w < 1 is clamped to 1; a one-worker pool
+// runs supersteps inline on the querying goroutine). The shared
+// exec.Default pool is the right runtime for a lone driver; private
+// single-worker pools are the right one when many drivers serve
+// concurrently and each should stay on its own core instead of
+// contending for the shared pool's workers. Charged costs and results
+// are identical either way (the runtime's chunking contract).
+func (d *Driver) SetMachineWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	d.machineWorkers = w
+	for _, m := range d.machines {
+		m.SetWorkers(w)
+	}
+}
+
+// NormProcs returns the processor count a query's declared count is
+// normalized to: counts below 1 are served by the 1-processor shape
+// class, exactly as pram.New would clamp them. Shape-class keys, the
+// Machine accessor, and QueryStats all agree on this normalization.
+func NormProcs(procs int) int {
+	if procs < 1 {
+		return 1
+	}
+	return procs
+}
+
+// machineFor returns the retained machine for the shape class of procs
+// declared processors, creating it on first use.
+func (d *Driver) machineFor(procs int) *pram.Machine {
+	procs = NormProcs(procs)
 	if m, ok := d.machines[procs]; ok {
 		return m
 	}
@@ -58,20 +106,67 @@ func (d *Driver) machineFor(procs int) *pram.Machine {
 	if d.ctx != nil {
 		m.SetContext(d.ctx)
 	}
+	if d.haveInjector {
+		m.SetFaults(d.injector)
+	}
+	if d.machineWorkers > 0 {
+		m.SetWorkers(d.machineWorkers)
+	}
+	if d.machines == nil {
+		d.machines = make(map[int]*pram.Machine)
+	}
 	d.machines[procs] = m
 	return m
 }
 
 // Machine exposes the retained machine for a shape class (procs as sized
 // by the driver: Cols(a) for row queries, 2*q*r for tube queries), for
-// counter inspection in tests and benchmarks. Returns nil before the
-// first query of that shape.
-func (d *Driver) Machine(procs int) *pram.Machine { return d.machines[procs] }
+// counter inspection in tests and benchmarks. The count is normalized
+// exactly as machineFor normalizes it, so Machine(0) and Machine(1) name
+// the same shape class. Returns nil before the first query of that shape.
+func (d *Driver) Machine(procs int) *pram.Machine { return d.machines[NormProcs(procs)] }
+
+// QueryStats is the charged cost one query added to its shape-class
+// machine: the per-query diff of the cumulative Machine counters.
+type QueryStats struct {
+	Procs int // normalized processor count of the shape class
+	Steps int64
+	Time  int64
+	Work  int64
+}
+
+// QueryStats runs query and returns the simulated cost it charged to the
+// shape class of procs declared processors (Cols(a) for row queries,
+// 2*q*r for tube queries — the counts the driver itself uses). The
+// machine counters are cumulative across a driver's queries; this helper
+// is the per-query view, diffing Time/Work/Steps around the call.
+// Queries routed to a different shape class inside query are not
+// included in the diff.
+func (d *Driver) QueryStats(procs int, query func()) QueryStats {
+	m := d.machineFor(procs)
+	before := m.CostSnapshot()
+	query()
+	delta := m.CostSnapshot().Sub(before)
+	return QueryStats{Procs: m.Procs(), Steps: delta.Steps, Time: delta.Time, Work: delta.Work}
+}
 
 // RowMinima computes the leftmost row minima of the Monge array a on the
 // machine retained for a's shape class.
 func (d *Driver) RowMinima(a marray.Matrix) []int {
 	return core.RowMinima(d.machineFor(a.Cols()), a)
+}
+
+// RowMinimaStats is RowMinima plus the per-query cost snapshot.
+func (d *Driver) RowMinimaStats(a marray.Matrix) (idx []int, st QueryStats) {
+	st = d.QueryStats(a.Cols(), func() { idx = d.RowMinima(a) })
+	return idx, st
+}
+
+// StaircaseRowMinima computes the leftmost finite row minima of the
+// staircase-Monge array a (Theorem 2.3) on the machine retained for a's
+// shape class.
+func (d *Driver) StaircaseRowMinima(a marray.Matrix) []int {
+	return core.StaircaseRowMinima(d.machineFor(a.Cols()), a)
 }
 
 // RowMinimaBatch answers every query through the per-shape machines.
@@ -102,11 +197,11 @@ func (d *Driver) TubeMaximaBatch(cs []marray.Composite) ([][][]int, [][][]float6
 }
 
 // Close resets every retained machine, releasing the scratch arenas and
-// any machine-private pools. The Driver is reusable after Close; the
-// next query rebuilds its machine.
+// any machine-private pools. Close is idempotent; the Driver is reusable
+// after it — the next query rebuilds its machine.
 func (d *Driver) Close() {
 	for _, m := range d.machines {
 		m.Reset()
 	}
-	d.machines = make(map[int]*pram.Machine)
+	d.machines = nil
 }

@@ -1,0 +1,131 @@
+package marray
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTileCacheMatchesDirect checks the only contract that matters:
+// a cached view returns exactly the wrapped matrix's entries, across
+// non-power-of-two shapes (partial edge tiles), repeated generations,
+// and slot-conflict evictions in a deliberately tiny cache.
+func TestTileCacheMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewTileCache(4) // tiny: conflicts guaranteed on any real matrix
+	for gen := 0; gen < 3; gen++ {
+		for _, sh := range []struct{ m, n int }{{13, 29}, {8, 8}, {1, 70}, {40, 3}} {
+			a := RandomMonge(rng, sh.m, sh.n)
+			v := c.View(Func{M: sh.m, N: sh.n, F: a.At})
+			if v.Rows() != sh.m || v.Cols() != sh.n {
+				t.Fatalf("view is %dx%d, want %dx%d", v.Rows(), v.Cols(), sh.m, sh.n)
+			}
+			for i := 0; i < sh.m; i++ {
+				for j := 0; j < sh.n; j++ {
+					if got, want := v.At(i, j), a.At(i, j); got != want {
+						t.Fatalf("gen %d shape %dx%d: At(%d,%d)=%g, want %g",
+							gen, sh.m, sh.n, i, j, got, want)
+					}
+				}
+			}
+			// Second sweep in the same generation must still agree (served
+			// from filled tiles where they survived conflicts).
+			for i := 0; i < sh.m; i++ {
+				for j := 0; j < sh.n; j++ {
+					if got, want := v.At(i, j), a.At(i, j); got != want {
+						t.Fatalf("resweep gen %d: At(%d,%d)=%g, want %g", gen, i, j, got, want)
+					}
+				}
+			}
+		}
+	}
+	if c.Hits() == 0 || c.Misses() == 0 {
+		t.Fatalf("traffic counters hits=%d misses=%d; both must be nonzero", c.Hits(), c.Misses())
+	}
+}
+
+// TestTileCacheGenerationInvalidates pins the re-bind contract: a new
+// View over a different matrix never serves the previous matrix's
+// entries, even though the slot table is not cleared.
+func TestTileCacheGenerationInvalidates(t *testing.T) {
+	c := NewTileCache(8)
+	a := c.View(Func{M: 16, N: 16, F: func(i, j int) float64 { return 1 }})
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			a.At(i, j)
+		}
+	}
+	b := c.View(Func{M: 16, N: 16, F: func(i, j int) float64 { return 2 }})
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if got := b.At(i, j); got != 2 {
+				t.Fatalf("At(%d,%d)=%g after rebind, want 2 (stale tile served)", i, j, got)
+			}
+		}
+	}
+}
+
+// TestTileCacheStaircasePreserved checks that wrapping a staircase
+// matrix keeps the Staircase interface — Boundary forwards, and the
+// +Inf blocked entries come through the cache unchanged.
+func TestTileCacheStaircasePreserved(t *testing.T) {
+	bound := func(i int) int { return 20 - i }
+	s := StairFunc{M: 10, N: 20, F: func(i, j int) float64 { return float64(i + j) }, Bound: bound}
+	v := NewTileCache(0).View(s)
+	sv, ok := v.(Staircase)
+	if !ok {
+		t.Fatal("cached view of a Staircase does not implement Staircase")
+	}
+	for i := 0; i < 10; i++ {
+		if sv.Boundary(i) != bound(i) {
+			t.Fatalf("Boundary(%d)=%d, want %d", i, sv.Boundary(i), bound(i))
+		}
+		for j := 0; j < 20; j++ {
+			want := float64(i + j)
+			if j >= bound(i) {
+				want = math.Inf(1)
+			}
+			if got := v.At(i, j); got != want {
+				t.Fatalf("At(%d,%d)=%g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestTileCacheSingleFlight checks the fill contract under concurrency:
+// with a cache large enough to hold the whole matrix, every entry's
+// evaluation function runs exactly once no matter how many goroutines
+// race on cold tiles — the per-slot lock makes fills single-flight.
+func TestTileCacheSingleFlight(t *testing.T) {
+	const m, n = 32, 32
+	var calls atomic.Int64
+	f := Func{M: m, N: n, F: func(i, j int) float64 {
+		calls.Add(1)
+		return float64(i*n + j)
+	}}
+	// (m/8)*(n/8) = 16 tiles; 64 slots means no conflict evictions, so
+	// any recomputation is a single-flight failure, not an eviction.
+	v := NewTileCache(64).View(f)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for k := 0; k < 4*m*n; k++ {
+				i, j := rng.Intn(m), rng.Intn(n)
+				if got := v.At(i, j); got != float64(i*n+j) {
+					t.Errorf("At(%d,%d)=%g, want %d", i, j, got, i*n+j)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if calls.Load() != m*n {
+		t.Fatalf("entry function ran %d times, want exactly %d (single-flight violated)",
+			calls.Load(), m*n)
+	}
+}

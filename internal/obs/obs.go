@@ -111,6 +111,31 @@ type Counters struct {
 	ArenaHits     atomic.Int64
 	ArenaMisses   atomic.Int64
 	BytesRecycled atomic.Int64
+
+	// Query-serving counters (the "serve" site, internal/serve driver
+	// pool). QueriesServed counts completed pool queries; QueueDepthPeak
+	// is a high-water gauge of the submit queue (raise with StoreMax);
+	// ShardImbalance is the spread between the busiest and idlest
+	// worker's served-query counts, recorded when the pool closes.
+	// CacheHits/CacheMisses count tile-cache probes of the memoized
+	// matrix views the pool's workers evaluate queries through.
+	QueriesServed  atomic.Int64
+	QueueDepthPeak atomic.Int64
+	ShardImbalance atomic.Int64
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+}
+
+// StoreMax raises the counter to v if v exceeds its current value — the
+// idiom for high-water gauges (queue depth peaks) kept in an otherwise
+// monotonic counter block.
+func StoreMax(c *atomic.Int64, v int64) {
+	for {
+		cur := c.Load()
+		if v <= cur || c.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // WordBytes is the simulated size of one exchanged value: every machine
@@ -141,6 +166,11 @@ type CounterSnapshot struct {
 	ArenaHits         int64 `json:"arena_hits,omitempty"`
 	ArenaMisses       int64 `json:"arena_misses,omitempty"`
 	BytesRecycled     int64 `json:"bytes_recycled,omitempty"`
+	QueriesServed     int64 `json:"queries_served,omitempty"`
+	QueueDepthPeak    int64 `json:"queue_depth_peak,omitempty"`
+	ShardImbalance    int64 `json:"shard_imbalance,omitempty"`
+	CacheHits         int64 `json:"cache_hits,omitempty"`
+	CacheMisses       int64 `json:"cache_misses,omitempty"`
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -167,6 +197,11 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		ArenaHits:         c.ArenaHits.Load(),
 		ArenaMisses:       c.ArenaMisses.Load(),
 		BytesRecycled:     c.BytesRecycled.Load(),
+		QueriesServed:     c.QueriesServed.Load(),
+		QueueDepthPeak:    c.QueueDepthPeak.Load(),
+		ShardImbalance:    c.ShardImbalance.Load(),
+		CacheHits:         c.CacheHits.Load(),
+		CacheMisses:       c.CacheMisses.Load(),
 	}
 }
 
@@ -272,18 +307,20 @@ func (o *Observer) WriteTable(w io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	if _, err := fmt.Fprintf(w, "%-22s %10s %12s %14s %12s %12s %10s %12s %12s %10s %10s %8s %8s %10s %10s %12s\n",
-		"site", "supersteps", "time", "work", "reads", "writes", "conflicts", "link-msgs", "link-bytes", "loops", "chunks", "faults", "searches", "arena-hit", "arena-miss", "recycled-B"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-22s %10s %12s %14s %12s %12s %10s %12s %12s %10s %10s %8s %8s %10s %10s %12s %8s %8s %6s %10s %10s\n",
+		"site", "supersteps", "time", "work", "reads", "writes", "conflicts", "link-msgs", "link-bytes", "loops", "chunks", "faults", "searches", "arena-hit", "arena-miss", "recycled-B",
+		"queries", "queue-pk", "imbal", "cache-hit", "cache-miss"); err != nil {
 		return err
 	}
 	for _, name := range names {
 		s := snap[name]
 		conflicts := s.ConflictsSamePid + s.ConflictsPriority + s.ConflictsCREW
 		faultsTotal := s.FaultStalls + s.FaultDrops + s.FaultGarbles + s.FaultTimeouts
-		if _, err := fmt.Fprintf(w, "%-22s %10d %12d %14d %12d %12d %10d %12d %12d %10d %10d %8d %8d %10d %10d %12d\n",
+		if _, err := fmt.Fprintf(w, "%-22s %10d %12d %14d %12d %12d %10d %12d %12d %10d %10d %8d %8d %10d %10d %12d %8d %8d %6d %10d %10d\n",
 			name, s.Supersteps, s.ChargedTime, s.ChargedWork, s.SharedReads, s.SharedWrites,
 			conflicts, s.LinkMessages, s.LinkBytes, s.PoolLoops, s.PoolChunks, faultsTotal, s.Searches,
-			s.ArenaHits, s.ArenaMisses, s.BytesRecycled); err != nil {
+			s.ArenaHits, s.ArenaMisses, s.BytesRecycled,
+			s.QueriesServed, s.QueueDepthPeak, s.ShardImbalance, s.CacheHits, s.CacheMisses); err != nil {
 			return err
 		}
 	}

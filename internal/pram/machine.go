@@ -289,6 +289,27 @@ func (m *Machine) Steps() int64 { return m.steps }
 // by per-step cost (the processor-time product of the simulated program).
 func (m *Machine) Work() int64 { return m.work }
 
+// Cost is one reading of a machine's cumulative cost counters. Two
+// readings subtract to the cost charged between them, which is how
+// per-query stats are carved out of a long-lived machine.
+type Cost struct {
+	Steps int64
+	Time  int64
+	Work  int64
+}
+
+// Sub returns the cost charged between the earlier reading before and
+// this one.
+func (c Cost) Sub(before Cost) Cost {
+	return Cost{Steps: c.Steps - before.Steps, Time: c.Time - before.Time, Work: c.Work - before.Work}
+}
+
+// CostSnapshot returns the current cumulative counters as one value, for
+// before/after diffing around a query.
+func (m *Machine) CostSnapshot() Cost {
+	return Cost{Steps: m.steps, Time: m.time, Work: m.work}
+}
+
 // Reset clears the cost counters (registered arrays keep their contents),
 // releases the scratch arena to the garbage collector, and shuts down the
 // machine's private pool, if any; the pool restarts lazily if the machine

@@ -1,0 +1,367 @@
+// Package serve turns the repository's batched query drivers into a
+// goroutine-safe serving layer. A batch.Driver reaches near-zero allocs
+// per query but is single-threaded by design: its machines share scratch
+// arenas. A Pool gets concurrency the only way that preserves that
+// property — by sharding. It owns W worker goroutines, each with a
+// private batch.Driver (machines keyed per shape class, exactly as a
+// lone driver keys them) and private tile caches for implicit-matrix
+// evaluation, and feeds them from one submission queue. Queries are
+// answered index-exact with the sequential facade: sharding changes who
+// computes an answer, never the answer.
+//
+// Each worker's machines run with a private one-worker pool
+// (batch.Driver.SetMachineWorkers), so a W-worker Pool is W independent
+// CPU-bound goroutines — supersteps execute inline on the worker, and
+// workers never contend for the shared exec pool's cores. That is the
+// right parallelism decomposition for a stream of many small queries:
+// across queries, not within one.
+//
+// Robustness plumbing passes through: a pool context cancels in-flight
+// and queued queries (their tickets resolve with merr.ErrCanceled), and
+// drivers inherit the process-wide fault injector unless Options.Faults
+// overrides it. Every query failure travels on its own ticket; one bad
+// query cannot poison the pool.
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"monge/internal/batch"
+	"monge/internal/faults"
+	"monge/internal/marray"
+	"monge/internal/merr"
+	"monge/internal/obs"
+	"monge/internal/pram"
+)
+
+// ErrClosed reports a Submit after Close; test with errors.Is.
+var ErrClosed = errors.New("monge: driver pool is closed")
+
+// ErrUnknownKind reports a Query whose Kind is none of the defined
+// problems; the ticket resolves with it.
+var ErrUnknownKind = errors.New("monge: unknown query kind")
+
+// Kind selects the problem a Query asks.
+type Kind int
+
+const (
+	// RowMinima asks for the leftmost row minima of the Monge array A.
+	RowMinima Kind = iota
+	// StaircaseRowMinima asks for the leftmost finite row minima of the
+	// staircase-Monge array A.
+	StaircaseRowMinima
+	// TubeMaxima asks for the per-(i,k) tube maxima of the composite C.
+	TubeMaxima
+)
+
+// Query is one unit of work for a Pool: a problem kind plus its input
+// (A for the row problems, C for the tube problem).
+type Query struct {
+	Kind Kind
+	A    marray.Matrix
+	C    marray.Composite
+}
+
+// Result is one query's answer. Idx is set for the row problems; TubeJ
+// and TubeV for the tube problem. Err carries any typed condition the
+// simulation threw (merr.ErrCanceled, fault-path errors, ...); the
+// answer fields are nil when Err is non-nil.
+type Result struct {
+	Idx   []int
+	TubeJ [][]int
+	TubeV [][]float64
+	Err   error
+}
+
+// Ticket is the handle Submit returns: a future for one query's Result.
+type Ticket struct {
+	q    Query
+	done chan struct{}
+	res  Result
+}
+
+// Done returns a channel closed when the result is ready, for select
+// loops; Result is the blocking accessor.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Result blocks until the query has been answered and returns its
+// result. It is safe to call from any goroutine, any number of times.
+func (t *Ticket) Result() Result {
+	<-t.done
+	return t.res
+}
+
+// errTicket returns an already-resolved ticket carrying err, so stream
+// consumers see submission failures in-band.
+func errTicket(err error) *Ticket {
+	t := &Ticket{done: make(chan struct{}), res: Result{Err: err}}
+	close(t.done)
+	return t
+}
+
+// Options configures a Pool. The zero value is usable: GOMAXPROCS
+// workers, background context, inherited fault injector, default-sized
+// tile caches.
+type Options struct {
+	// Workers is the shard count; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Context cancels the pool's queries: in-flight queries abort at
+	// their next superstep and resolve with merr.ErrCanceled.
+	Context context.Context
+	// Faults overrides the fault injector attached to the workers'
+	// machines. Nil keeps the default passthrough: machines attach the
+	// process-wide faults.Global injector, exactly as facade calls do.
+	Faults *faults.Injector
+	// CacheTiles sizes each worker's tile caches (tiles per cache,
+	// rounded up to a power of two; <= 0 means marray.DefaultTiles).
+	// Implicit (non-Dense) matrices are evaluated through these caches.
+	CacheTiles int
+	// MachineWorkers sets each worker driver's private machine pool
+	// width (batch.Driver.SetMachineWorkers); <= 0 means 1, the
+	// one-core-per-shard decomposition described in the package comment.
+	MachineWorkers int
+}
+
+// Pool is a goroutine-safe front end sharding queries across
+// worker-owned batch.Drivers. Create with New, submit from any number
+// of goroutines, Close when done.
+type Pool struct {
+	mode    pram.Mode
+	opt     Options
+	workers int
+
+	queue    chan *Ticket
+	mu       sync.RWMutex // guards closed against concurrent Submit
+	closed   bool
+	inflight sync.WaitGroup // submitted but unanswered queries
+	done     sync.WaitGroup // running workers
+
+	// caches[w] holds worker w's two tile caches: one for row-problem
+	// matrices and tube factor D, one for tube factor E (separate so a
+	// tube query's factors cannot evict each other's tiles — the
+	// direct-mapped slot hash ignores which matrix a tile came from).
+	caches [][2]*marray.TileCache
+	served []shardCount
+
+	obsC *obs.Counters
+}
+
+// shardCount is a per-worker query counter, padded to its own cache
+// line so neighbouring shards don't false-share. Atomic so Stats can
+// read mid-serve.
+type shardCount struct {
+	n   atomic.Int64
+	pad [7]int64
+}
+
+func (s *shardCount) add(n int64) { s.n.Add(n) }
+func (s *shardCount) load() int64 { return s.n.Load() }
+
+// New returns a running Pool whose drivers use the given PRAM mode.
+func New(mode pram.Mode, opt Options) *Pool {
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		mode:    mode,
+		opt:     opt,
+		workers: w,
+		// A buffer of one ticket per worker lets submitters run ahead
+		// of the shards without unbounding the queue.
+		queue:  make(chan *Ticket, w),
+		caches: make([][2]*marray.TileCache, w),
+		served: make([]shardCount, w),
+	}
+	for i := range p.caches {
+		p.caches[i] = [2]*marray.TileCache{
+			marray.NewTileCache(opt.CacheTiles),
+			marray.NewTileCache(opt.CacheTiles),
+		}
+	}
+	if o := obs.Global(); o != nil {
+		p.obsC = o.Site("serve")
+	}
+	p.done.Add(w)
+	for i := 0; i < w; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+// Workers returns the shard count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit enqueues q and returns its ticket, or ErrClosed after Close.
+// Submit blocks only while every worker is busy and the queue buffer is
+// full — the natural backpressure of a saturated pool.
+func (p *Pool) Submit(q Query) (*Ticket, error) {
+	t := &Ticket{q: q, done: make(chan struct{})}
+	// The read lock is held across the enqueue so Close cannot observe
+	// closed==true while a submit that passed the check is still trying
+	// to send: Close's write lock waits for us, and workers drain the
+	// queue without ever taking p.mu, so the send always completes.
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	p.inflight.Add(1)
+	if p.obsC != nil {
+		obs.StoreMax(&p.obsC.QueueDepthPeak, int64(len(p.queue)+1))
+	}
+	p.queue <- t
+	p.mu.RUnlock()
+	return t, nil
+}
+
+// RowMinimaStream submits one row-minima query per matrix and returns a
+// channel yielding results in submission order, closed after the last.
+// Submission failures (a pool closed mid-stream) arrive in-band as
+// results with Err set, keeping the channel aligned with the input.
+func (p *Pool) RowMinimaStream(as []marray.Matrix) <-chan Result {
+	tickets := make(chan *Ticket, p.workers)
+	go func() {
+		defer close(tickets)
+		for _, a := range as {
+			t, err := p.Submit(Query{Kind: RowMinima, A: a})
+			if err != nil {
+				t = errTicket(err)
+			}
+			tickets <- t
+		}
+	}()
+	out := make(chan Result)
+	go func() {
+		defer close(out)
+		for t := range tickets {
+			out <- t.Result()
+		}
+	}()
+	return out
+}
+
+// Wait blocks until every query submitted so far has resolved. The pool
+// keeps serving; Wait is the batch barrier, Close the shutdown.
+func (p *Pool) Wait() { p.inflight.Wait() }
+
+// Close drains the pool and stops its workers: pending queries still
+// resolve, Submits during and after Close return ErrClosed, and every
+// worker goroutine has exited when Close returns. Close is idempotent
+// and safe to call concurrently; late callers block until shutdown is
+// complete.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if !already {
+		p.inflight.Wait()
+		close(p.queue)
+	}
+	p.done.Wait()
+	if !already && p.obsC != nil {
+		st := p.Stats()
+		p.obsC.ShardImbalance.Store(st.Imbalance)
+		p.obsC.CacheHits.Store(st.CacheHits)
+		p.obsC.CacheMisses.Store(st.CacheMisses)
+	}
+}
+
+// Stats is a point-in-time view of the pool's serving counters.
+type Stats struct {
+	Workers                int
+	Queries                int64   // total queries answered
+	PerWorker              []int64 // queries answered by each shard
+	Imbalance              int64   // max minus min of PerWorker
+	CacheHits, CacheMisses int64   // summed over all shard caches
+}
+
+// Stats snapshots the serving counters. Safe to call at any time,
+// including while queries are in flight (counts may be mid-update).
+func (p *Pool) Stats() Stats {
+	st := Stats{Workers: p.workers, PerWorker: make([]int64, p.workers)}
+	min, max := int64(-1), int64(0)
+	for i := range p.served {
+		n := p.served[i].load()
+		st.PerWorker[i] = n
+		st.Queries += n
+		if min < 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min >= 0 {
+		st.Imbalance = max - min
+	}
+	for _, pair := range p.caches {
+		for _, c := range pair {
+			st.CacheHits += c.Hits()
+			st.CacheMisses += c.Misses()
+		}
+	}
+	return st
+}
+
+// worker is one shard: a private driver drained from the shared queue.
+func (p *Pool) worker(id int) {
+	defer p.done.Done()
+	d := batch.New(p.mode)
+	mw := p.opt.MachineWorkers
+	if mw <= 0 {
+		mw = 1
+	}
+	d.SetMachineWorkers(mw)
+	if p.opt.Context != nil {
+		d.SetContext(p.opt.Context)
+	}
+	if p.opt.Faults != nil {
+		d.SetFaults(p.opt.Faults)
+	}
+	defer d.Close()
+	for t := range p.queue {
+		t.res = p.answer(d, id, t.q)
+		p.served[id].add(1)
+		if p.obsC != nil {
+			p.obsC.QueriesServed.Add(1)
+		}
+		close(t.done)
+		p.inflight.Done()
+	}
+}
+
+// answer runs one query on the shard's driver, converting any thrown
+// merr condition into the ticket's error.
+func (p *Pool) answer(d *batch.Driver, id int, q Query) (res Result) {
+	defer merr.Catch(&res.Err)
+	switch q.Kind {
+	case RowMinima:
+		res.Idx = d.RowMinima(p.cached(id, 0, q.A))
+	case StaircaseRowMinima:
+		res.Idx = d.StaircaseRowMinima(p.cached(id, 0, q.A))
+	case TubeMaxima:
+		c := marray.Composite{D: p.cached(id, 0, q.C.D), E: p.cached(id, 1, q.C.E)}
+		res.TubeJ, res.TubeV = d.TubeMaxima(c)
+	default:
+		merr.Throwf(ErrUnknownKind, "serve: unknown query kind %d", int(q.Kind))
+	}
+	return res
+}
+
+// cached routes implicit matrices through the shard's tile cache.
+// Dense inputs pass through untouched: their At is already one load,
+// and memoizing it would only add a probe. Cache traffic is reported
+// in aggregate by Stats and at Close; the At fast path stays free of
+// obs counter writes.
+func (p *Pool) cached(id, which int, a marray.Matrix) marray.Matrix {
+	if _, dense := a.(*marray.Dense); dense {
+		return a
+	}
+	return p.caches[id][which].View(a)
+}

@@ -59,6 +59,7 @@ import (
 	"monge/internal/marray"
 	"monge/internal/merr"
 	"monge/internal/pram"
+	"monge/internal/serve"
 	"monge/internal/smawk"
 )
 
@@ -418,7 +419,148 @@ func (b *BatchDriver) TubeMaximaBatch(cs []Composite) (idx [][][]int, vals [][][
 }
 
 // Close resets the retained machines, releasing their scratch arenas.
+// Close is idempotent; the driver is reusable afterwards.
 func (b *BatchDriver) Close() { b.d.Close() }
+
+// QueryStats is the simulated cost one driver query charged to its
+// shape-class machine (the per-query diff of the cumulative counters).
+type QueryStats = batch.QueryStats
+
+// RowMinimaStats is RowMinima plus the query's charged cost.
+func (b *BatchDriver) RowMinimaStats(a Matrix) (idx []int, st QueryStats, err error) {
+	if err = marray.CheckMongeSampled(a); err != nil {
+		return nil, QueryStats{}, err
+	}
+	err = catchInto(func() { idx, st = b.d.RowMinimaStats(a) })
+	return idx, st, err
+}
+
+// --- Concurrent serving -----------------------------------------------------
+
+// ErrPoolClosed reports a DriverPool submission after Close.
+var ErrPoolClosed = serve.ErrClosed
+
+// PoolResult is one served query's answer; see DriverPool.
+type PoolResult = serve.Result
+
+// PoolTicket is the future a DriverPool submission returns.
+type PoolTicket = serve.Ticket
+
+// PoolStats is a snapshot of a DriverPool's serving counters.
+type PoolStats = serve.Stats
+
+// PoolOptions configures a DriverPool; the zero value means GOMAXPROCS
+// workers, background context, inherited fault injector, default-sized
+// tile caches.
+type PoolOptions = serve.Options
+
+// DriverPool is the goroutine-safe counterpart of BatchDriver: it
+// shards a stream of row-minima / staircase / tube queries across
+// worker goroutines, each owning a private BatchDriver-equivalent (so
+// the per-shape machine arenas are never shared) plus tile caches that
+// memoize implicit-matrix entries within each query. Results are
+// index-exact with the sequential entry points. Submissions may come
+// from any number of goroutines; answers arrive on per-query tickets.
+//
+// Use a BatchDriver for a single-goroutine batch; use a DriverPool when
+// queries arrive concurrently or you want to spend multiple cores on a
+// stream of many small queries. See README "Serving queries
+// concurrently" for the decision table.
+type DriverPool struct{ p *serve.Pool }
+
+// NewDriverPool returns a running pool with the given PRAM mode and
+// worker count (workers <= 0 means GOMAXPROCS).
+func NewDriverPool(mode Mode, workers int) *DriverPool {
+	return NewDriverPoolOpts(mode, PoolOptions{Workers: workers})
+}
+
+// NewDriverPoolContext is NewDriverPool with a pool context: cancelling
+// ctx aborts in-flight and queued queries, whose tickets then resolve
+// with ErrCanceled.
+func NewDriverPoolContext(ctx context.Context, mode Mode, workers int) *DriverPool {
+	return NewDriverPoolOpts(mode, PoolOptions{Workers: workers, Context: ctx})
+}
+
+// NewDriverPoolOpts is the fully configurable constructor.
+func NewDriverPoolOpts(mode Mode, opt PoolOptions) *DriverPool {
+	return &DriverPool{p: serve.New(mode, opt)}
+}
+
+// RowMinima submits a row-minima query, returning its ticket. The
+// sampled Monge screen runs on the calling goroutine before anything is
+// enqueued, so structural errors surface immediately, not on the ticket.
+func (dp *DriverPool) RowMinima(a Matrix) (*PoolTicket, error) {
+	if err := marray.CheckMongeSampled(a); err != nil {
+		return nil, err
+	}
+	return dp.p.Submit(serve.Query{Kind: serve.RowMinima, A: a})
+}
+
+// StaircaseRowMinima submits a staircase row-minima query (sampled
+// staircase-Monge screen on the calling goroutine).
+func (dp *DriverPool) StaircaseRowMinima(a Matrix) (*PoolTicket, error) {
+	if err := marray.CheckStaircaseMongeSampled(a); err != nil {
+		return nil, err
+	}
+	return dp.p.Submit(serve.Query{Kind: serve.StaircaseRowMinima, A: a})
+}
+
+// TubeMaxima submits a tube-maxima query (sampled Monge screens on both
+// factors, on the calling goroutine).
+func (dp *DriverPool) TubeMaxima(c Composite) (*PoolTicket, error) {
+	if err := marray.CheckMongeSampled(c.D); err != nil {
+		return nil, err
+	}
+	if err := marray.CheckMongeSampled(c.E); err != nil {
+		return nil, err
+	}
+	return dp.p.Submit(serve.Query{Kind: serve.TubeMaxima, C: c})
+}
+
+// RowMinimaStream submits one row-minima query per matrix and returns a
+// channel yielding results in submission order, closed after the last.
+// Matrices failing the sampled screen, and submissions after Close,
+// yield in-band results with Err set so the channel stays aligned with
+// the input slice.
+func (dp *DriverPool) RowMinimaStream(as []Matrix) <-chan PoolResult {
+	// The screens run here, synchronously; failing inputs are dropped
+	// from the submitted slice and their errors re-inserted in order.
+	errs := make([]error, len(as))
+	ok := make([]Matrix, 0, len(as))
+	for i, a := range as {
+		if err := marray.CheckMongeSampled(a); err != nil {
+			errs[i] = err
+		} else {
+			ok = append(ok, a)
+		}
+	}
+	inner := dp.p.RowMinimaStream(ok)
+	out := make(chan PoolResult)
+	go func() {
+		defer close(out)
+		for i := range as {
+			if errs[i] != nil {
+				out <- PoolResult{Err: errs[i]}
+				continue
+			}
+			out <- <-inner
+		}
+	}()
+	return out
+}
+
+// Wait blocks until every query submitted so far has resolved; the pool
+// keeps serving afterwards.
+func (dp *DriverPool) Wait() { dp.p.Wait() }
+
+// Stats snapshots the pool's serving counters (queries per shard,
+// imbalance, tile-cache hits/misses).
+func (dp *DriverPool) Stats() PoolStats { return dp.p.Stats() }
+
+// Close drains pending queries, stops the worker goroutines, and
+// releases their machines. Idempotent and safe to call concurrently;
+// submissions after Close return ErrPoolClosed.
+func (dp *DriverPool) Close() { dp.p.Close() }
 
 // --- Hypercube and constant-degree networks -------------------------------
 

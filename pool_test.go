@@ -1,0 +1,123 @@
+package monge
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"monge/internal/marray"
+)
+
+// TestDriverPoolFacade covers the public serving surface: screened
+// submissions, index-exact answers versus the sequential facade, the
+// ordered stream, stats, and the closed-pool error.
+func TestDriverPoolFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	dp := NewDriverPool(CRCW, 2)
+
+	a := marray.RandomMonge(rng, 20, 20)
+	s := marray.RandomStaircaseMonge(rng, 12, 18)
+	c := marray.RandomComposite(rng, 5, 5, 5)
+
+	rt, err := dp.RowMinima(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dp.StaircaseRowMinima(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := dp.TubeMaxima(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantR := MustRowMinima(a)
+	wantS := MustStaircaseRowMinima(s)
+	wantTJ, wantTV := MustTubeMaxima(c)
+
+	if res := rt.Result(); res.Err != nil {
+		t.Fatalf("row ticket: %v", res.Err)
+	} else {
+		for i := range wantR {
+			if res.Idx[i] != wantR[i] {
+				t.Fatalf("row %d: pool %d, sequential %d", i, res.Idx[i], wantR[i])
+			}
+		}
+	}
+	if res := st.Result(); res.Err != nil {
+		t.Fatalf("staircase ticket: %v", res.Err)
+	} else {
+		for i := range wantS {
+			if res.Idx[i] != wantS[i] {
+				t.Fatalf("staircase row %d: pool %d, sequential %d", i, res.Idx[i], wantS[i])
+			}
+		}
+	}
+	if res := tt.Result(); res.Err != nil {
+		t.Fatalf("tube ticket: %v", res.Err)
+	} else {
+		for x := range wantTJ {
+			for k := range wantTJ[x] {
+				if res.TubeJ[x][k] != wantTJ[x][k] || res.TubeV[x][k] != wantTV[x][k] {
+					t.Fatalf("tube (%d,%d): pool (%d,%g), sequential (%d,%g)", x, k,
+						res.TubeJ[x][k], res.TubeV[x][k], wantTJ[x][k], wantTV[x][k])
+				}
+			}
+		}
+	}
+
+	// The stream keeps submission order, and a non-Monge input yields an
+	// in-band ErrNotMonge result at its position without derailing the
+	// queries around it.
+	bad := FromRows([][]float64{{9, 0}, {0, 9}})
+	results := make([]PoolResult, 0, 3)
+	for res := range dp.RowMinimaStream([]Matrix{a, bad, a}) {
+		results = append(results, res)
+	}
+	if len(results) != 3 {
+		t.Fatalf("stream yielded %d results, want 3", len(results))
+	}
+	if !errors.Is(results[1].Err, ErrNotMonge) {
+		t.Fatalf("bad input err=%v, want ErrNotMonge", results[1].Err)
+	}
+	for _, k := range []int{0, 2} {
+		if results[k].Err != nil {
+			t.Fatalf("stream result %d: %v", k, results[k].Err)
+		}
+		for i := range wantR {
+			if results[k].Idx[i] != wantR[i] {
+				t.Fatalf("stream result %d row %d: %d, want %d", k, i, results[k].Idx[i], wantR[i])
+			}
+		}
+	}
+
+	dp.Wait()
+	if stats := dp.Stats(); stats.Queries < 5 {
+		t.Fatalf("stats counted %d queries, want >= 5", stats.Queries)
+	}
+
+	dp.Close()
+	dp.Close()
+	if _, err := dp.RowMinima(a); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after Close err=%v, want ErrPoolClosed", err)
+	}
+}
+
+// TestDriverPoolScreens checks that structural validation happens on the
+// calling goroutine: bad inputs are rejected before anything is
+// enqueued.
+func TestDriverPoolScreens(t *testing.T) {
+	dp := NewDriverPool(CRCW, 1)
+	defer dp.Close()
+	bad := FromRows([][]float64{{9, 0}, {0, 9}})
+	if _, err := dp.RowMinima(bad); !errors.Is(err, ErrNotMonge) {
+		t.Fatalf("RowMinima screen err=%v, want ErrNotMonge", err)
+	}
+	if _, err := dp.TubeMaxima(MustNewComposite(bad, bad)); !errors.Is(err, ErrNotMonge) {
+		t.Fatalf("TubeMaxima screen err=%v, want ErrNotMonge", err)
+	}
+	if st := dp.Stats(); st.Queries != 0 {
+		t.Fatalf("screened-out inputs were served: %d queries", st.Queries)
+	}
+}

@@ -1,0 +1,85 @@
+package monge
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// BENCH_throughput.json (schema monge-throughput/v1) is the committed
+// serving-throughput baseline for BenchmarkDriverPoolThroughput: the
+// recorded queries/s per worker count, the core count of the recording
+// machine, and the scaling floor the CI throughput-smoke job enforces
+// from a fresh multi-core run. This test keeps the file honest — schema,
+// benchmark coverage, and internal consistency — and enforces the
+// scaling floor locally whenever the host actually has the cores to
+// measure it.
+type throughputBaseline struct {
+	Schema       string  `json:"schema"`
+	CPUs         int     `json:"cpus"`
+	QueriesPerOp int     `json:"queries_per_op"`
+	MinScaling   float64 `json:"min_scaling_w4_over_w1"`
+	Benchmarks   []struct {
+		Name    string  `json:"name"`
+		Workers int     `json:"workers"`
+		QPS     float64 `json:"qps"`
+		CIQPS   float64 `json:"ci_qps"`
+	} `json:"benchmarks"`
+}
+
+func loadThroughputBaseline(t *testing.T) throughputBaseline {
+	t.Helper()
+	raw, err := os.ReadFile("BENCH_throughput.json")
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var b throughputBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("parse BENCH_throughput.json: %v", err)
+	}
+	if b.Schema != "monge-throughput/v1" {
+		t.Fatalf("BENCH_throughput.json schema %q, want monge-throughput/v1", b.Schema)
+	}
+	return b
+}
+
+// TestThroughputBaseline validates the committed throughput baseline:
+// the worker ladder the benchmark runs is present with positive recorded
+// and CI-floor numbers, and the recorded numbers are self-consistent
+// with the recording machine. When the baseline was recorded on a
+// multi-core machine, the committed w4/w1 ratio itself must meet the
+// scaling floor; single-core recordings delegate that acceptance to the
+// CI job's fresh run (a flat ladder is the only honest single-core
+// measurement).
+func TestThroughputBaseline(t *testing.T) {
+	b := loadThroughputBaseline(t)
+	if b.CPUs < 1 {
+		t.Fatalf("cpus=%d; the baseline must name its recording machine", b.CPUs)
+	}
+	if b.QueriesPerOp < 1 {
+		t.Fatalf("queries_per_op=%d, want >= 1", b.QueriesPerOp)
+	}
+	if b.MinScaling < 2.0 {
+		t.Fatalf("min_scaling_w4_over_w1=%g; the acceptance floor is 2.0 or stricter", b.MinScaling)
+	}
+	byWorkers := map[int]float64{}
+	for _, row := range b.Benchmarks {
+		if row.QPS <= 0 || row.CIQPS <= 0 {
+			t.Errorf("%s: qps=%g ci_qps=%g, want positive", row.Name, row.QPS, row.CIQPS)
+		}
+		byWorkers[row.Workers] = row.QPS
+	}
+	for _, w := range []int{1, 2, 4} {
+		if _, ok := byWorkers[w]; !ok {
+			t.Errorf("baseline has no workers=%d entry; the benchmark ladder runs it", w)
+		}
+	}
+	if b.CPUs >= 4 {
+		if ratio := byWorkers[4] / byWorkers[1]; ratio < b.MinScaling {
+			t.Errorf("recorded scaling w4/w1 = %.2f on a %d-core machine, want >= %.1f",
+				ratio, b.CPUs, b.MinScaling)
+		}
+	} else {
+		t.Logf("baseline recorded on %d core(s); scaling acceptance runs fresh in the CI throughput-smoke job", b.CPUs)
+	}
+}
