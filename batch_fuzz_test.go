@@ -11,7 +11,9 @@ import (
 // tie-heavy workloads and checks every answer index-for-index against
 // the one-query-at-a-time facade path on a fresh machine. Index equality
 // (not value equality) is the point: machine reuse must not perturb the
-// leftmost tie-breaking rule.
+// leftmost tie-breaking rule. The same batch also runs through a
+// native-backend driver, making this target a three-way differential:
+// batched PRAM, fresh PRAM, and native must all agree on every index.
 //
 // Run locally with
 //
@@ -22,6 +24,9 @@ func FuzzBatchMatchesSingle(f *testing.F) {
 	f.Add(int64(3), 64, 5, 1)
 	f.Add(int64(4), 12, 40, 4)
 	f.Add(int64(5), 2, 1, 2)
+	// Adversarial tie shapes at the block and reduce-stack boundaries.
+	f.Add(int64(6), 63, 64, 2)
+	f.Add(int64(7), 64, 63, 2)
 	f.Fuzz(func(t *testing.T, seed int64, rawM, rawN, rawK int) {
 		clamp := func(x, mod int) int {
 			if x < 0 {
@@ -40,9 +45,15 @@ func FuzzBatchMatchesSingle(f *testing.F) {
 		}
 		d := NewBatchDriver(CRCW)
 		defer d.Close()
+		nd := NewBatchDriverBackend(CRCW, BackendNative)
+		defer nd.Close()
 		got, err := d.RowMinimaBatch(as)
 		if err != nil {
 			t.Fatalf("batch: %v", err)
+		}
+		ngot, err := nd.RowMinimaBatch(as)
+		if err != nil {
+			t.Fatalf("native batch: %v", err)
 		}
 		for i, a := range as {
 			want, err := RowMinimaPRAM(NewPRAM(CRCW, a.Cols()), a)
@@ -53,6 +64,10 @@ func FuzzBatchMatchesSingle(f *testing.F) {
 				if got[i][r] != want[r] {
 					t.Fatalf("seed=%d query %d row %d: batch %d, single %d",
 						seed, i, r, got[i][r], want[r])
+				}
+				if ngot[i][r] != want[r] {
+					t.Fatalf("seed=%d query %d row %d: native %d, single %d",
+						seed, i, r, ngot[i][r], want[r])
 				}
 			}
 		}

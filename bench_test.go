@@ -691,6 +691,20 @@ func BenchmarkObsOverhead(b *testing.B) {
 // On a single-core runner the ladder is flat by construction — the
 // recorded baseline carries the cpu count for exactly that reason.
 func BenchmarkDriverPoolThroughput(b *testing.B) {
+	driverPoolThroughput(b, BackendPRAM)
+}
+
+// BenchmarkDriverPoolThroughputNative is the same serve mix on the
+// native execution backend. The two ladders share one schema in
+// BENCH_throughput.json; the CI throughput-smoke job gates native w1 at
+// >= the recorded multiple of PRAM w1 from the same fresh run (the
+// simulator's superstep accounting dominates its runtime, so the ratio
+// is core-count independent).
+func BenchmarkDriverPoolThroughputNative(b *testing.B) {
+	driverPoolThroughput(b, BackendNative)
+}
+
+func driverPoolThroughput(b *testing.B, be Backend) {
 	const n = 1024
 	const queriesPerOp = 32
 	rng := rand.New(rand.NewSource(1))
@@ -708,7 +722,7 @@ func BenchmarkDriverPoolThroughput(b *testing.B) {
 	for _, w := range ladder {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			b.ReportAllocs()
-			pool := serve.New(pram.CRCW, serve.Options{Workers: w})
+			pool := serve.New(pram.CRCW, serve.Options{Workers: w, Backend: be})
 			defer pool.Close()
 			tickets := make([]*serve.Ticket, queriesPerOp)
 			b.ResetTimer()
@@ -734,6 +748,50 @@ func BenchmarkDriverPoolThroughput(b *testing.B) {
 			b.ReportMetric(float64(st.Imbalance), "imbalance")
 			if probes := st.CacheHits + st.CacheMisses; probes > 0 {
 				b.ReportMetric(100*float64(st.CacheHits)/float64(probes), "cache-hit-%")
+			}
+		})
+	}
+}
+
+// BenchmarkBackendKernels is the per-kernel PRAM-vs-native latency and
+// allocation comparison recorded in EXPERIMENTS.md ("Execution
+// backends"): each of the three query kinds runs through a steady-state
+// BatchDriver on both backends, same inputs, same driver seam. The
+// native rows are the serving numbers; the PRAM rows price the
+// simulation (charged supersteps, write-buffer bookkeeping) that the
+// conformance oracle pays on every query.
+func BenchmarkBackendKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1024
+	const tubeN = 64
+	a := marray.RandomMonge(rng, n, n)
+	s := marray.RandomStaircaseMonge(rng, n, n)
+	c := marray.RandomComposite(rng, tubeN, tubeN, tubeN)
+	for _, be := range []Backend{BackendPRAM, BackendNative} {
+		d := NewBatchDriverBackend(CRCW, be)
+		defer d.Close()
+		b.Run(fmt.Sprintf("backend=%s/smawk/n=%d", be, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.RowMinima(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("backend=%s/staircase/n=%d", be, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.StaircaseRowMinima(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("backend=%s/tube/n=%d", be, tubeN), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := d.TubeMaxima(c); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

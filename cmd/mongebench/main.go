@@ -94,6 +94,8 @@ var (
 	seed      int64
 	batchN    int
 	serveOn   bool
+	backendF  string
+	backendBE batch.Backend
 	workersN  int
 	qpsLimit  float64
 	queriesN  int
@@ -152,6 +154,7 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 	fs.Int64Var(&seed, "seed", 1, "workload seed")
 	fs.IntVar(&batchN, "batch", 0, "run N same-shape queries per ladder size through the batched driver (internal/batch) instead of the -exp experiments, comparing amortized cost against fresh machines")
 	fs.BoolVar(&serveOn, "serve", false, "drive a synthetic query mix through the concurrent driver pool (internal/serve) instead of the -exp experiments, reporting throughput, shard balance, and cache traffic")
+	fs.StringVar(&backendF, "backend", "pram", "execution backend for -serve and -batch: pram (simulated machines) or native (direct goroutine kernels)")
 	fs.IntVar(&workersN, "workers", 0, "driver-pool worker count for -serve (0 = GOMAXPROCS)")
 	fs.Float64Var(&qpsLimit, "qps", 0, "throttle -serve submissions to this many queries per second (0 = unthrottled)")
 	fs.IntVar(&queriesN, "queries", 256, "total queries submitted by -serve")
@@ -163,6 +166,15 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 	fs.StringVar(&traceOut, "trace-out", "", "record per-superstep spans and write them in Chrome trace_event format to this file")
 	fs.StringVar(&profile, "profile", "", "write a CPU profile of the run to this file (runtime/pprof)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch backendF {
+	case "pram":
+		backendBE = batch.BackendPRAM
+	case "native":
+		backendBE = batch.BackendNative
+	default:
+		fmt.Fprintf(stderr, "mongebench: unknown -backend %q (want pram or native)\n", backendF)
 		return 2
 	}
 
@@ -587,13 +599,13 @@ func app4() {
 // fresh-machine-per-query path and checked index-for-index against it.
 func batchExp(k int) {
 	rng := rand.New(rand.NewSource(seed))
-	d := batch.New(pram.CRCW)
+	d := batch.NewWithBackend(pram.CRCW, backendBE)
 	if benchCtx != nil {
 		d.SetContext(benchCtx)
 	}
 	defer d.Close()
 
-	printf("\n== Batched row minima: %d queries per size, one machine per shape class ==\n", k)
+	printf("\n== Batched row minima: %d queries per size, one machine per shape class (%s backend) ==\n", k, backendBE)
 	printf("%8s %14s %14s %9s %8s\n", "n", "batch/query", "fresh/query", "speedup", "match")
 	for _, n := range sizes(maxN) {
 		arrays := make([]marray.Matrix, k)
@@ -679,9 +691,9 @@ func serveExp() {
 	tj, _ := smawk.TubeMaxima(c)
 	mix = append(mix, prep{q: serve.Query{Kind: serve.TubeMaxima, C: c}, tubJ: tj})
 
-	pool := serve.New(pram.CRCW, serve.Options{Workers: workersN, Context: benchCtx})
+	pool := serve.New(pram.CRCW, serve.Options{Workers: workersN, Context: benchCtx, Backend: backendBE})
 	defer pool.Close()
-	printf("\n== Concurrent serving: %d queries, %d workers", queriesN, pool.Workers())
+	printf("\n== Concurrent serving: %d queries, %d workers, %s backend", queriesN, pool.Workers(), backendBE)
 	if qpsLimit > 0 {
 		printf(", throttled to %.0f qps", qpsLimit)
 	}

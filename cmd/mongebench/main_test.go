@@ -62,6 +62,31 @@ func TestServeModeReportsThroughput(t *testing.T) {
 	}
 }
 
+// TestServeModeNativeBackend covers the -backend flag end to end: a
+// native-backend serve run exits 0, names the backend in its report,
+// and keeps every answer matching the sequential facade (which checks
+// against PRAM-derived expectations — a cross-backend differential at
+// the CLI layer); a bogus backend is a usage error.
+func TestServeModeNativeBackend(t *testing.T) {
+	code, stdout, stderr := run(t, "-serve", "-backend", "native", "-maxn", "64", "-queries", "32", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "native backend") {
+		t.Fatalf("report does not name the native backend:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "MISMATCH") {
+		t.Fatalf("native served answers diverged from the sequential facade:\n%s", stdout)
+	}
+	code, _, stderr = run(t, "-serve", "-backend", "bogus")
+	if code != 2 {
+		t.Fatalf("-backend bogus exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "bogus") {
+		t.Fatalf("stderr does not name the bad backend:\n%s", stderr)
+	}
+}
+
 func TestUnknownExperimentExitsUsage(t *testing.T) {
 	code, _, stderr := run(t, "-exp", "nope")
 	if code != 2 {

@@ -13,21 +13,56 @@
 // across them. Batched results are index-exact with the one-at-a-time
 // facade calls — the fuzz and table tests in this package and in the
 // root package are the guard.
+//
+// A Driver also chooses the execution Backend: BackendPRAM routes
+// queries through the simulated machines above, BackendNative through
+// the direct goroutine kernels of internal/native. Answers are
+// index-exact across backends (the differential suites enforce it);
+// what changes is cost — native queries charge no simulated supersteps
+// and see no injected machine faults, which is why the conformance CI
+// job injects faults on the PRAM side only.
 package batch
 
 import (
 	"context"
 
 	"monge/internal/core"
+	"monge/internal/exec"
 	"monge/internal/faults"
 	"monge/internal/marray"
+	"monge/internal/merr"
+	"monge/internal/native"
 	"monge/internal/pram"
 )
 
+// Backend selects the execution engine a Driver routes queries to.
+type Backend int
+
+const (
+	// BackendPRAM answers queries on the simulated PRAM machines — the
+	// paper's machine models, with charged supersteps, simulated shared
+	// memory, and fault injection. This is the default and the
+	// conformance oracle.
+	BackendPRAM Backend = iota
+	// BackendNative answers queries directly on goroutines via
+	// internal/native: no simulation, index-exact with BackendPRAM by
+	// the differential test suites.
+	BackendNative
+)
+
+// String names the backend as the -backend flag spells it.
+func (b Backend) String() string {
+	if b == BackendNative {
+		return "native"
+	}
+	return "pram"
+}
+
 // Driver runs searching queries on recycled per-shape machines.
 type Driver struct {
-	mode pram.Mode
-	ctx  context.Context
+	mode    pram.Mode
+	backend Backend
+	ctx     context.Context
 	// injector/haveInjector distinguish "never set" (machines keep the
 	// process-wide faults.Global default that pram.New attaches) from an
 	// explicit SetFaults(nil), which disables injection.
@@ -35,8 +70,13 @@ type Driver struct {
 	haveInjector bool
 	// machineWorkers, when positive, gives every machine a private
 	// worker pool of that size instead of the shared exec.Default pool.
+	// A native driver sizes its kernel fan-out pool by the same knob.
 	machineWorkers int
 	machines       map[int]*pram.Machine // keyed by normalized processor count
+	// npool is the native backend's lazily created private fan-out pool
+	// (only when machineWorkers is set; otherwise kernels share
+	// exec.Default, mirroring the machines' pool inheritance).
+	npool *exec.Pool
 }
 
 // New returns a Driver whose machines use the given PRAM mode. Close
@@ -44,6 +84,18 @@ type Driver struct {
 func New(mode pram.Mode) *Driver {
 	return &Driver{mode: mode}
 }
+
+// NewWithBackend returns a Driver routing queries to the given backend.
+// The PRAM mode still names the conformance oracle's machine model (and
+// is what a native driver reports in QueryStats shape classes); a native
+// driver touches no simulated machine unless a PRAM-only entry point
+// (Machine, QueryStats' snapshot) asks for one.
+func NewWithBackend(mode pram.Mode, be Backend) *Driver {
+	return &Driver{mode: mode, backend: be}
+}
+
+// Backend reports which execution engine the driver routes queries to.
+func (d *Driver) Backend() Backend { return d.backend }
 
 // SetContext attaches ctx to every machine the driver holds or later
 // creates; a cancelled context aborts the current query at its next
@@ -59,6 +111,8 @@ func (d *Driver) SetContext(ctx context.Context) {
 // holds or later creates (nil disables injection). Drivers that never
 // call SetFaults keep the machines' default, the process-wide
 // faults.Global injector — the passthrough the serving layer relies on.
+// The native backend has no simulated processors to fault, so a native
+// driver accepts but never consults the injector.
 func (d *Driver) SetFaults(in *faults.Injector) {
 	d.injector, d.haveInjector = in, true
 	for _, m := range d.machines {
@@ -81,6 +135,43 @@ func (d *Driver) SetMachineWorkers(w int) {
 	d.machineWorkers = w
 	for _, m := range d.machines {
 		m.SetWorkers(w)
+	}
+	if d.npool != nil {
+		d.npool.Close()
+		d.npool = nil // recreated lazily at the new width
+	}
+}
+
+// nativePool returns the pool the native kernels fan out on: a private
+// pool of machineWorkers workers when SetMachineWorkers was called
+// (created lazily, so serve shards with width 1 never spawn a worker),
+// otherwise the shared exec.Default pool.
+func (d *Driver) nativePool() *exec.Pool {
+	if d.machineWorkers > 0 {
+		if d.npool == nil {
+			d.npool = exec.NewPool(d.machineWorkers)
+		}
+		return d.npool
+	}
+	return exec.Default()
+}
+
+// checkRowQuery rejects degenerate row-query shapes at the driver seam,
+// so both backends fail m=0 / n=0 inputs with the same typed error
+// instead of backend-dependent silent answers (the PRAM core used to
+// return all-zero indices for n=0).
+func checkRowQuery(a marray.Matrix) {
+	if a.Rows() <= 0 || a.Cols() <= 0 {
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"batch: %dx%d row query; both dimensions must be positive", a.Rows(), a.Cols())
+	}
+}
+
+// checkTubeQuery is checkRowQuery for composite tube queries.
+func checkTubeQuery(c marray.Composite) {
+	if c.P() <= 0 || c.Q() <= 0 || c.R() <= 0 {
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"batch: %dx%dx%d tube query; all dimensions must be positive", c.P(), c.Q(), c.R())
 	}
 }
 
@@ -141,8 +232,15 @@ type QueryStats struct {
 // machine counters are cumulative across a driver's queries; this helper
 // is the per-query view, diffing Time/Work/Steps around the call.
 // Queries routed to a different shape class inside query are not
-// included in the diff.
+// included in the diff. On the native backend there is no machine and no
+// charged cost: query still runs, and the stats carry the normalized
+// shape class with zero Steps/Time/Work (simulation cost is a property
+// of the simulated model, not of native execution).
 func (d *Driver) QueryStats(procs int, query func()) QueryStats {
+	if d.backend == BackendNative {
+		query()
+		return QueryStats{Procs: NormProcs(procs)}
+	}
 	m := d.machineFor(procs)
 	before := m.CostSnapshot()
 	query()
@@ -151,8 +249,13 @@ func (d *Driver) QueryStats(procs int, query func()) QueryStats {
 }
 
 // RowMinima computes the leftmost row minima of the Monge array a on the
-// machine retained for a's shape class.
+// machine retained for a's shape class (or natively, index-exact, on a
+// native driver).
 func (d *Driver) RowMinima(a marray.Matrix) []int {
+	checkRowQuery(a)
+	if d.backend == BackendNative {
+		return native.RowMinima(d.ctx, d.nativePool(), a)
+	}
 	return core.RowMinima(d.machineFor(a.Cols()), a)
 }
 
@@ -166,6 +269,10 @@ func (d *Driver) RowMinimaStats(a marray.Matrix) (idx []int, st QueryStats) {
 // staircase-Monge array a (Theorem 2.3) on the machine retained for a's
 // shape class.
 func (d *Driver) StaircaseRowMinima(a marray.Matrix) []int {
+	checkRowQuery(a)
+	if d.backend == BackendNative {
+		return native.StaircaseRowMinima(d.ctx, d.nativePool(), a)
+	}
 	return core.StaircaseRowMinima(d.machineFor(a.Cols()), a)
 }
 
@@ -182,6 +289,10 @@ func (d *Driver) RowMinimaBatch(as []marray.Matrix) [][]int {
 // TubeMaxima solves the tube-maxima problem for the Monge-composite
 // array c on the machine retained for c's shape class.
 func (d *Driver) TubeMaxima(c marray.Composite) ([][]int, [][]float64) {
+	checkTubeQuery(c)
+	if d.backend == BackendNative {
+		return native.TubeMaxima(d.ctx, d.nativePool(), c)
+	}
 	return core.TubeMaxima(d.machineFor(2*c.Q()*c.R()), c)
 }
 
@@ -197,11 +308,16 @@ func (d *Driver) TubeMaximaBatch(cs []marray.Composite) ([][][]int, [][][]float6
 }
 
 // Close resets every retained machine, releasing the scratch arenas and
-// any machine-private pools. Close is idempotent; the Driver is reusable
-// after it — the next query rebuilds its machine.
+// any machine-private pools, and stops a native driver's private fan-out
+// pool. Close is idempotent; the Driver is reusable after it — the next
+// query rebuilds its machine or pool.
 func (d *Driver) Close() {
 	for _, m := range d.machines {
 		m.Reset()
 	}
 	d.machines = nil
+	if d.npool != nil {
+		d.npool.Close()
+		d.npool = nil
+	}
 }

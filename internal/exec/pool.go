@@ -89,6 +89,28 @@ func ChunkBounds(n int) (size, count int) {
 	return size, count
 }
 
+// ChunkBoundsGrain is ChunkBounds for loops that declare their own grain:
+// chunks cover grain iterations each (the last may be short), widened only
+// if needed to respect the maxChunks claim-traffic bound. A grain <= 0
+// falls back to the deterministic default sizing. Callers whose iterations
+// are coarse units of work — the native backend dispatches row blocks, not
+// rows — use this so a loop of a handful of blocks still yields one chunk
+// per block instead of collapsing into a single inline chunk.
+func ChunkBoundsGrain(n, grain int) (size, count int) {
+	if grain <= 0 {
+		return ChunkBounds(n)
+	}
+	if n <= 0 {
+		return 0, 0
+	}
+	size = grain
+	if min := (n + maxChunks - 1) / maxChunks; size < min {
+		size = min
+	}
+	count = (n + size - 1) / size
+	return size, count
+}
+
 // job is one parallel loop, shared by every goroutine helping with it.
 // Chunk k covers indices [k*size, min((k+1)*size, n)); claimants take the
 // next unclaimed chunk by incrementing next. The last three fields are nil
@@ -377,6 +399,12 @@ type Loop struct {
 	// processor faults. It must be a pure function of its arguments (plus
 	// injector seed/state) so the schedule is worker-count independent.
 	Stall func(chunk, attempt int) bool
+	// Grain, when positive, declares that each iteration is a coarse unit
+	// of work: chunks are Grain iterations wide (ChunkBoundsGrain) and the
+	// loop is dispatched to the workers even when N is below the serial
+	// cutoff that inlines fine-grained loops. Zero keeps the default
+	// deterministic sizing the simulated machines rely on.
+	Grain int
 }
 
 // RunResult reports what a Run dispatch did.
@@ -398,7 +426,7 @@ func (p *Pool) Run(l Loop) (RunResult, error) {
 	if l.N <= 0 {
 		return RunResult{}, nil
 	}
-	size, count := ChunkBounds(l.N)
+	size, count := ChunkBoundsGrain(l.N, l.Grain)
 	var next, stalls int64
 	var abort atomic.Bool
 	var wg sync.WaitGroup
@@ -407,7 +435,7 @@ func (p *Pool) Run(l Loop) (RunResult, error) {
 		next: &next, n: l.N, size: size, body: l.Body, wg: &wg,
 		stall: l.Stall, stalls: &stalls, abort: &abort,
 	}
-	if p.workers > 1 && count > 1 && l.N >= serialCutoff {
+	if p.workers > 1 && count > 1 && (l.Grain > 0 || l.N >= serialCutoff) {
 		p.publish(j, count)
 	}
 	j.runCtx(l.Ctx)

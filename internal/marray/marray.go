@@ -121,6 +121,12 @@ func (d *Dense) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a zero-copy slice sharing the matrix's
+// backing store. Callers must treat it as read-only; the native
+// backend's dense scan kernels use it to stream rows without the
+// per-entry At indirection.
+func (d *Dense) RowView(i int) []float64 { return d.data[i*d.n : (i+1)*d.n] }
+
 // transposed flips rows and columns.
 type transposed struct{ a Matrix }
 
@@ -211,6 +217,31 @@ func Window(a Matrix, i0, j0, m, n int) Matrix {
 			i0, j0, m, n, a.Rows(), a.Cols())
 	}
 	return Sub{A: a, I0: i0, J0: j0, M: m, N: n}
+}
+
+// stairBand is a full-width row window of a Staircase matrix: the window
+// keeps every column, so the parent's precomputed boundary applies
+// directly (offset by the window origin) and BoundaryOf stays O(1)
+// instead of falling back to per-row binary search.
+type stairBand struct {
+	Sub
+	s Staircase
+}
+
+// Boundary returns the parent's boundary for the windowed row.
+func (b stairBand) Boundary(i int) int { return b.s.Boundary(b.I0 + i) }
+
+// RowBand returns the m-row, full-width window of a starting at row i0.
+// Row windows preserve the Monge, inverse-Monge, and staircase-Monge
+// properties (boundaries of a row subset stay nonincreasing), and unlike
+// Window the result keeps a Staircase parent's cheap Boundary. The native
+// backend cuts queries into these bands for its block-parallel solvers.
+func RowBand(a Matrix, i0, m int) Matrix {
+	w := Window(a, i0, 0, m, a.Cols())
+	if s, ok := a.(Staircase); ok {
+		return stairBand{Sub: w.(Sub), s: s}
+	}
+	return w
 }
 
 // RowsOf returns a view of a restricted to the given row indices, in order.

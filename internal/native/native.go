@@ -1,0 +1,228 @@
+// Package native is the direct execution backend: the same three
+// searching kernels the simulated PRAM serves — SMAWK row minima,
+// staircase-Monge row minima, and tube maxima — run straight on
+// goroutines, with no charged supersteps and no simulated shared memory.
+// The PRAM path is the product of the paper's machine models; this
+// package is the serving engine, and the simulators become its
+// conformance oracle: every kernel here is differentially tested to be
+// index-exact with the PRAM answers (TestNativeMatchesPRAM, the fuzz
+// harnesses, and the concurrent serve suite).
+//
+// # Why index-exactness is structural, not lucky
+//
+// Each row's leftmost optimum is a per-row function of the input — rows
+// interact only for algorithmic speed, never for the answer. The kernels
+// therefore partition the row space (the i-slice space, for tubes) into
+// contiguous blocks and run the sequential internal/smawk solvers on
+// each block: any row subset of a (staircase-)Monge array is
+// (staircase-)Monge, and every block solver applies the same leftmost
+// tie-breaking rule the PRAM algorithms are pinned to, so the
+// concatenated answers equal the whole-array answers column for column.
+//
+// # Execution shape
+//
+// A parlay-style size threshold keeps small queries serial: below
+// serialRows the dispatch overhead of any fan-out exceeds the kernel
+// itself, so the query runs inline on the calling goroutine. Above it,
+// rows are cut into blockRows-row blocks and dispatched as one
+// work-stealing loop on an internal/exec.Pool with Grain=1 — one
+// claimable chunk per block, so idle workers steal whole blocks. Each
+// block is a cache tile (the output range plus the sequential solver's
+// pooled scratch stay resident while the block is solved), and dense
+// inputs narrow enough for a scan take a branchless two-pass row scan
+// (see scan.go) instead of the SMAWK recursion. All recursion scratch
+// comes from the pooled internal/scratch arenas behind
+// smawk.RowMinimaInto, so a query allocates only its answer slice.
+//
+// Cancellation is cooperative: a done context aborts between blocks and
+// the kernel throws merr.ErrCanceled, exactly as the simulated machines
+// do at their superstep boundaries. Counters land on the process
+// observer's "native" site.
+package native
+
+import (
+	"context"
+
+	"monge/internal/exec"
+	"monge/internal/marray"
+	"monge/internal/merr"
+	"monge/internal/obs"
+	"monge/internal/smawk"
+)
+
+const (
+	// serialRows is the query height below which the kernel runs inline:
+	// a block fan-out costs a publish plus one atomic claim per block,
+	// which only pays for itself once several blocks exist.
+	serialRows = 128
+	// blockRows is the row-block height of the parallel split. 64 rows
+	// keeps a block's answer range and the SMAWK scratch within a few KB
+	// — one block is one cache tile and one work-stealing unit.
+	blockRows = 64
+	// serialSlices / blockSlices are the tube analogues: a tube i-slice
+	// costs a full SMAWK pass over an r x q slice, so slices are coarser
+	// units than rows and fan out at smaller counts.
+	serialSlices = 16
+	blockSlices  = 4
+)
+
+// counters returns the process observer's "native" site, or nil when
+// observation is off (the disabled path is one atomic pointer load).
+func counters() *obs.Counters {
+	if o := obs.Global(); o != nil {
+		return o.Site("native")
+	}
+	return nil
+}
+
+// checkShape rejects degenerate query shapes with the same typed error
+// on every path, so backend choice can never change error behavior.
+func checkShape(what string, m, n int) {
+	if m <= 0 || n <= 0 {
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"native: %s on %dx%d array; both dimensions must be positive", what, m, n)
+	}
+}
+
+// checkCtx throws merr.ErrCanceled if ctx is already done, mirroring the
+// superstep-boundary cancellation of the simulated machines.
+func checkCtx(ctx context.Context) {
+	if ctx != nil && ctx.Err() != nil {
+		merr.Throw(merr.Canceled(ctx.Err()))
+	}
+}
+
+// RowMinima returns the leftmost row minima of the Monge array a,
+// index-exact with the PRAM backend. pool supplies the fan-out workers
+// (nil means the shared exec.Default pool); ctx, when non-nil, cancels
+// between row blocks with merr.ErrCanceled.
+func RowMinima(ctx context.Context, pool *exec.Pool, a marray.Matrix) []int {
+	m, n := a.Rows(), a.Cols()
+	checkShape("RowMinima", m, n)
+	out := make([]int, m)
+	solve := func(lo, hi int) {
+		smawk.RowMinimaInto(marray.RowBand(a, lo, hi-lo), out[lo:hi])
+	}
+	if d, ok := a.(*marray.Dense); ok && n <= denseScanCols {
+		solve = func(lo, hi int) { scanDenseMinima(d, lo, hi, out) }
+	}
+	runRows(ctx, pool, m, solve)
+	return out
+}
+
+// StaircaseRowMinima returns the leftmost finite row minima of the
+// staircase-Monge array a (-1 for fully blocked rows), index-exact with
+// the PRAM backend.
+func StaircaseRowMinima(ctx context.Context, pool *exec.Pool, a marray.Matrix) []int {
+	m, n := a.Rows(), a.Cols()
+	checkShape("StaircaseRowMinima", m, n)
+	out := make([]int, m)
+	solve := func(lo, hi int) {
+		smawk.StaircaseRowMinimaInto(marray.RowBand(a, lo, hi-lo), out[lo:hi])
+	}
+	if d, ok := a.(*marray.Dense); ok && n <= denseScanCols {
+		solve = func(lo, hi int) { scanDenseStairMinima(d, lo, hi, out) }
+	}
+	runRows(ctx, pool, m, solve)
+	return out
+}
+
+// TubeMaxima solves the tube-maxima problem for the Monge-composite
+// array c, index-exact with the PRAM backend: argJ[i][k] is the smallest
+// maximising middle coordinate, vals[i][k] = c.At(i, argJ[i][k], k).
+// The i-slices are independent (slice i is one Monge row-maxima problem
+// over W_i[k][j] = d[i,j] + e[j,k]) and fan out across the pool.
+func TubeMaxima(ctx context.Context, pool *exec.Pool, c marray.Composite) ([][]int, [][]float64) {
+	p, q, r := c.P(), c.Q(), c.R()
+	if p <= 0 || q <= 0 || r <= 0 {
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"native: TubeMaxima on %dx%dx%d composite; all dimensions must be positive", p, q, r)
+	}
+	// One backing array per output so a p-slice query costs four
+	// allocations plus the row headers, regardless of p.
+	argJ := make([][]int, p)
+	vals := make([][]float64, p)
+	jb := make([]int, p*r)
+	vb := make([]float64, p*r)
+	for i := range argJ {
+		argJ[i] = jb[i*r : (i+1)*r : (i+1)*r]
+		vals[i] = vb[i*r : (i+1)*r : (i+1)*r]
+	}
+	solve := func(i int) {
+		wi := marray.Func{M: r, N: q, F: func(k, j int) float64 {
+			return c.D.At(i, j) + c.E.At(j, k)
+		}}
+		smawk.MongeRowMaximaInto(wi, argJ[i])
+		for k := 0; k < r; k++ {
+			vals[i][k] = c.At(i, argJ[i][k], k)
+		}
+	}
+	ct := counters()
+	if ct != nil {
+		ct.Searches.Add(1)
+	}
+	if pool == nil {
+		pool = exec.Default()
+	}
+	if p <= serialSlices || pool.Workers() <= 1 {
+		checkCtx(ctx)
+		for i := 0; i < p; i++ {
+			solve(i)
+		}
+		countRun(ct, exec.RunResult{Chunks: 1})
+		return argJ, vals
+	}
+	res, err := pool.Run(exec.Loop{N: p, Grain: blockSlices, Ctx: ctx, Body: solve})
+	countRun(ct, res)
+	if err != nil {
+		merr.Throw(merr.Canceled(err))
+	}
+	return argJ, vals
+}
+
+// runRows executes solve over [0, m) — inline below the serial cutoff or
+// on a one-worker pool, otherwise as blockRows-row blocks stolen from
+// the pool — and folds the dispatch shape into the "native" obs site.
+func runRows(ctx context.Context, pool *exec.Pool, m int, solve func(lo, hi int)) {
+	ct := counters()
+	if ct != nil {
+		ct.Searches.Add(1)
+	}
+	if pool == nil {
+		pool = exec.Default()
+	}
+	if m <= serialRows || pool.Workers() <= 1 {
+		checkCtx(ctx)
+		solve(0, m)
+		countRun(ct, exec.RunResult{Chunks: 1})
+		return
+	}
+	blocks := (m + blockRows - 1) / blockRows
+	res, err := pool.Run(exec.Loop{
+		N: blocks, Grain: 1, Ctx: ctx,
+		Body: func(b int) {
+			lo := b * blockRows
+			hi := lo + blockRows
+			if hi > m {
+				hi = m
+			}
+			solve(lo, hi)
+		},
+	})
+	countRun(ct, res)
+	if err != nil {
+		merr.Throw(merr.Canceled(err))
+	}
+}
+
+// countRun folds one kernel dispatch into the native obs site.
+func countRun(ct *obs.Counters, res exec.RunResult) {
+	if ct == nil {
+		return
+	}
+	ct.PoolLoops.Add(1)
+	ct.PoolChunks.Add(int64(res.Chunks))
+	if res.Chunks == 1 {
+		ct.PoolInline.Add(1)
+	}
+}

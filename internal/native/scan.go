@@ -1,0 +1,60 @@
+package native
+
+import (
+	"math"
+
+	"monge/internal/marray"
+)
+
+// denseScanCols bounds the width at which a straight row scan beats the
+// SMAWK recursion on dense input: below it the O(rows*n) scan is all
+// sequential loads the hardware prefetches, while SMAWK's O(rows+n)
+// bound hides recursion and index-indirection constants. 32 columns of
+// float64 is four cache lines per row.
+const denseScanCols = 32
+
+// scanDenseMinima fills out[lo:hi] with the leftmost-minimum column of
+// each dense row, two passes per row over the zero-copy RowView: a
+// value pass using the min builtin (lowered to a branch-free MINSD-style
+// instruction on the common targets, so ties and data order cost no
+// mispredictions), then an index pass that stops at the first entry
+// equal to the minimum — which is the leftmost tie by construction.
+func scanDenseMinima(d *marray.Dense, lo, hi int, out []int) {
+	for i := lo; i < hi; i++ {
+		row := d.RowView(i)
+		bv := row[0]
+		for _, v := range row[1:] {
+			bv = min(bv, v)
+		}
+		for j, v := range row {
+			if v == bv {
+				out[i] = j
+				break
+			}
+		}
+	}
+}
+
+// scanDenseStairMinima is the staircase variant: blocked (+Inf) entries
+// never win, and a row with no finite entry yields -1, matching
+// smawk.StaircaseRowMinima. The value pass runs over the whole row —
+// +Inf entries are absorbed by min — so no boundary lookup is needed.
+func scanDenseStairMinima(d *marray.Dense, lo, hi int, out []int) {
+	for i := lo; i < hi; i++ {
+		row := d.RowView(i)
+		out[i] = -1
+		bv := math.Inf(1)
+		for _, v := range row {
+			bv = min(bv, v)
+		}
+		if math.IsInf(bv, 1) {
+			continue
+		}
+		for j, v := range row {
+			if v == bv {
+				out[i] = j
+				break
+			}
+		}
+	}
+}

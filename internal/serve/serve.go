@@ -124,6 +124,13 @@ type Options struct {
 	// width (batch.Driver.SetMachineWorkers); <= 0 means 1, the
 	// one-core-per-shard decomposition described in the package comment.
 	MachineWorkers int
+	// Backend selects the worker drivers' execution engine: the zero
+	// value batch.BackendPRAM serves on the simulated machines,
+	// batch.BackendNative on the direct goroutine kernels of
+	// internal/native. Answers are index-exact either way; a native pool
+	// trades the simulator's charged-cost observability for raw speed,
+	// and its drivers see no injected machine faults.
+	Backend batch.Backend
 }
 
 // Pool is a goroutine-safe front end sharding queries across
@@ -312,7 +319,7 @@ func (p *Pool) Stats() Stats {
 // worker is one shard: a private driver drained from the shared queue.
 func (p *Pool) worker(id int) {
 	defer p.done.Done()
-	d := batch.New(p.mode)
+	d := batch.NewWithBackend(p.mode, p.opt.Backend)
 	mw := p.opt.MachineWorkers
 	if mw <= 0 {
 		mw = 1

@@ -1,10 +1,14 @@
-package smawk
+package smawk_test
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
+	"monge/internal/exec"
 	"monge/internal/marray"
+	"monge/internal/native"
+	"monge/internal/smawk"
 )
 
 // The fuzz targets drive the searching algorithms with the seeded
@@ -15,7 +19,14 @@ import (
 // a different-but-equal optimum. Each input is exercised twice, once with
 // real-valued entries (ties essentially never) and once with small
 // integer entries (ties constantly), so both the generic path and the
-// tie-handling path stay covered.
+// tie-handling path stay covered. Every kernel additionally runs through
+// the native execution backend (internal/native) on the same inputs —
+// one shared corpus exercises the sequential algorithm, the brute
+// oracle, and the native backend per target.
+//
+// This file is an external test package (smawk_test) so it can import
+// internal/native, which itself depends on smawk; the corpora under
+// testdata/fuzz are keyed by target name and replay unchanged.
 //
 // Run locally with
 //
@@ -24,7 +35,12 @@ import (
 //	go test ./internal/smawk -run='^$' -fuzz=FuzzTubeMaximaMatchesBrute -fuzztime=30s
 //
 // The committed corpora under testdata/fuzz keep the interesting shapes
-// (square, wide, tall, single row/column) replaying as plain tests.
+// (square, wide, tall, single row/column, tie/∞-heavy) replaying as
+// plain tests.
+
+// fuzzPool fans out the native kernels on a fixed width so the fuzz
+// inputs execute the same dispatch logic regardless of host CPUs.
+var fuzzPool = exec.NewPool(3)
 
 // fuzzDim maps an arbitrary fuzzed int to a usable dimension in [1, 96].
 func fuzzDim(x int) int {
@@ -43,30 +59,51 @@ func diffIdx(got, want []int) int {
 	return -1
 }
 
+func eq2D(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if diffIdx(a[i], b[i]) >= 0 || len(a[i]) != len(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 func FuzzSMAWKMatchesBrute(f *testing.F) {
 	f.Add(int64(1), 8, 8)
 	f.Add(int64(2), 1, 33)
 	f.Add(int64(3), 64, 5)
 	f.Add(int64(4), 96, 96)
 	f.Add(int64(5), 2, 1)
+	// Adversarial tie seeds: spread-2 integer entries at the dimensions
+	// where the reduce stack and interpolation scans change shape.
+	f.Add(int64(6), 63, 64)
+	f.Add(int64(7), 96, 2)
 	f.Fuzz(func(t *testing.T, seed int64, rawM, rawN int) {
 		m, n := fuzzDim(rawM), fuzzDim(rawN)
 		rng := rand.New(rand.NewSource(seed))
 		for _, a := range []marray.Matrix{
 			marray.RandomMonge(rng, m, n),
 			marray.RandomMongeInt(rng, m, n, 3),
+			marray.RandomMongeInt(rng, m, n, 2), // tie-dense
 		} {
-			if i := diffIdx(RowMinima(a), RowMinimaBrute(a)); i >= 0 {
+			want := smawk.RowMinimaBrute(a)
+			if i := diffIdx(smawk.RowMinima(a), want); i >= 0 {
 				t.Fatalf("seed=%d %dx%d: RowMinima differs from brute at row %d", seed, m, n, i)
 			}
-			if i := diffIdx(MongeRowMaxima(a), RowMaximaBrute(a)); i >= 0 {
+			if i := diffIdx(native.RowMinima(nil, fuzzPool, a), want); i >= 0 {
+				t.Fatalf("seed=%d %dx%d: native.RowMinima differs from brute at row %d", seed, m, n, i)
+			}
+			if i := diffIdx(smawk.MongeRowMaxima(a), smawk.RowMaximaBrute(a)); i >= 0 {
 				t.Fatalf("seed=%d %dx%d: MongeRowMaxima differs from brute at row %d", seed, m, n, i)
 			}
 			inv := marray.Negate(a) // inverse-Monge: totally monotone for maxima
-			if i := diffIdx(RowMaxima(inv), RowMaximaBrute(inv)); i >= 0 {
+			if i := diffIdx(smawk.RowMaxima(inv), smawk.RowMaximaBrute(inv)); i >= 0 {
 				t.Fatalf("seed=%d %dx%d: RowMaxima differs from brute at row %d", seed, m, n, i)
 			}
-			if i := diffIdx(InverseMongeRowMinima(inv), RowMinimaBrute(inv)); i >= 0 {
+			if i := diffIdx(smawk.InverseMongeRowMinima(inv), smawk.RowMinimaBrute(inv)); i >= 0 {
 				t.Fatalf("seed=%d %dx%d: InverseMongeRowMinima differs from brute at row %d", seed, m, n, i)
 			}
 		}
@@ -114,9 +151,11 @@ func FuzzTubeMaximaMatchesBrute(f *testing.F) {
 				marray.RandomMongeInt(rng, p, q, 3),
 				marray.RandomMongeInt(rng, q, r, 3)),
 		} {
-			gotJ, gotV := TubeMaxima(c)
-			wantJ, wantV := TubeMaximaBrute(c)
+			gotJ, gotV := smawk.TubeMaxima(c)
+			wantJ, wantV := smawk.TubeMaximaBrute(c)
 			check(name, gotJ, wantJ, gotV, wantV)
+			natJ, natV := native.TubeMaxima(nil, fuzzPool, c)
+			check(name+"/native", natJ, wantJ, natV, wantV)
 		}
 		for name, c := range map[string]marray.Composite{
 			"minima/real": marray.NewComposite(
@@ -126,11 +165,28 @@ func FuzzTubeMaximaMatchesBrute(f *testing.F) {
 				marray.Negate(marray.RandomMongeInt(rng, p, q, 3)),
 				marray.Negate(marray.RandomMongeInt(rng, q, r, 3))),
 		} {
-			gotJ, gotV := TubeMinima(c)
-			wantJ, wantV := TubeMinimaBrute(c)
+			gotJ, gotV := smawk.TubeMinima(c)
+			wantJ, wantV := smawk.TubeMinimaBrute(c)
 			check(name, gotJ, wantJ, gotV, wantV)
 		}
 	})
+}
+
+// infHeavyStaircase imposes an aggressive nonincreasing boundary on a
+// Monge array: roughly the top quarter of columns stay open on row 0 and
+// the boundary falls off row by row, so most rows are blocked and the
+// -1 answers dominate. Imposing a nonincreasing boundary on a Monge
+// array yields a staircase-Monge array.
+func infHeavyStaircase(rng *rand.Rand, m, n int) marray.Matrix {
+	d := marray.RandomMongeInt(rng, m, n, 2)
+	b0 := rng.Intn(n/2 + 1)
+	return marray.StairFunc{M: m, N: n, F: d.At, Bound: func(i int) int {
+		b := b0 - i
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}}
 }
 
 func FuzzStaircaseRowMinima(f *testing.F) {
@@ -139,19 +195,45 @@ func FuzzStaircaseRowMinima(f *testing.F) {
 	f.Add(int64(3), 50, 1)
 	f.Add(int64(4), 96, 96)
 	f.Add(int64(5), 40, 9)
+	// Adversarial ∞-heavy seeds: wide windows with mostly blocked rows.
+	f.Add(int64(6), 64, 63)
+	f.Add(int64(7), 96, 24)
 	f.Fuzz(func(t *testing.T, seed int64, rawM, rawN int) {
 		m, n := fuzzDim(rawM), fuzzDim(rawN)
 		rng := rand.New(rand.NewSource(seed))
+		heavy := infHeavyStaircase(rng, m, n)
 		for _, a := range []marray.Matrix{
 			marray.RandomStaircaseMonge(rng, m, n),
 			marray.RandomStaircaseMongeInt(rng, m, n, 3),
+			heavy,
+			marray.Materialize(heavy), // dense: exercises the native scan path
 		} {
-			got := StaircaseRowMinima(a)
-			want := StaircaseRowMinimaBrute(a) // leftmost; -1 on all-blocked rows
+			want := smawk.StaircaseRowMinimaBrute(a) // leftmost; -1 on all-blocked rows
+			got := smawk.StaircaseRowMinima(a)
 			if i := diffIdx(got, want); i >= 0 {
 				t.Fatalf("seed=%d %dx%d: StaircaseRowMinima = %d at row %d, brute says %d",
 					seed, m, n, got[i], i, want[i])
 			}
+			nat := native.StaircaseRowMinima(nil, fuzzPool, a)
+			if i := diffIdx(nat, want); i >= 0 {
+				t.Fatalf("seed=%d %dx%d: native.StaircaseRowMinima = %d at row %d, brute says %d",
+					seed, m, n, nat[i], i, want[i])
+			}
 		}
 	})
+}
+
+// sanity for the helper itself: boundaries must be valid (nonincreasing)
+// or the staircase solvers' preconditions would be violated silently.
+func TestInfHeavyStaircaseIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := infHeavyStaircase(rng, 20, 30).(marray.StairFunc)
+	prev := math.MaxInt
+	for i := 0; i < 20; i++ {
+		b := a.Boundary(i)
+		if b > prev {
+			t.Fatalf("boundary increased at row %d: %d after %d", i, b, prev)
+		}
+		prev = b
+	}
 }

@@ -30,21 +30,40 @@ func RowMaxima(a marray.Matrix) []int {
 	return run(a, greater)
 }
 
+// RowMinimaInto is RowMinima writing into a caller-provided slice of
+// length >= a.Rows(). Recursion scratch comes from a pooled workspace, so
+// the call allocates nothing; out is not touched for rows beyond a.Rows().
+// The native backend's block solvers use this to keep the per-query alloc
+// budget at the answer slice alone.
+func RowMinimaInto(a marray.Matrix, out []int) {
+	w := getWS()
+	defer putWS(w)
+	runInto(w, a, less, out)
+}
+
 // MongeRowMaxima returns the leftmost row maxima of a Monge array. A Monge
 // array is totally monotone for maxima only after column reversal, so this
 // adapter reverses, searches, and maps indices back, preserving the
 // leftmost tie-breaking rule of the original array.
 func MongeRowMaxima(a marray.Matrix) []int {
+	out := make([]int, a.Rows())
+	MongeRowMaximaInto(a, out)
+	return out
+}
+
+// MongeRowMaximaInto is MongeRowMaxima writing into a caller-provided
+// slice of length >= a.Rows(), allocation-free like RowMinimaInto.
+func MongeRowMaximaInto(a marray.Matrix, out []int) {
 	// In the reversed array, the leftmost maximum corresponds to the
 	// rightmost maximum of a. To recover a's leftmost maxima we instead
 	// search the reversed array for its rightmost maxima.
 	rev := marray.ReverseCols(a)
-	idx := runRightmost(rev, greater)
+	out = out[:a.Rows()]
+	runRightmostInto(rev, greater, out)
 	n := a.Cols()
-	for i := range idx {
-		idx[i] = n - 1 - idx[i]
+	for i := range out {
+		out[i] = n - 1 - out[i]
 	}
-	return idx
 }
 
 // InverseMongeRowMinima returns the leftmost row minima of an inverse-Monge
@@ -98,14 +117,21 @@ func runInto(w *workspace, a marray.Matrix, better func(x, y float64) bool, out 
 // runRightmost executes SMAWK with rightmost tie-breaking, used by the
 // column-reversal adapters.
 func runRightmost(a marray.Matrix, better func(x, y float64) bool) []int {
+	out := make([]int, a.Rows())
+	runRightmostInto(a, better, out)
+	return out
+}
+
+// runRightmostInto is runRightmost into a caller-provided answer slice of
+// length a.Rows().
+func runRightmostInto(a marray.Matrix, better func(x, y float64) bool, out []int) {
 	// Rightmost-best of a = leftmost-best under "strictly better or equal"
 	// comparisons. Using >= (resp. <=) as the kill test in SMAWK yields the
 	// rightmost optimum; total monotonicity holds in the same direction.
 	betterEq := func(x, y float64) bool { return !better(y, x) }
 	m, n := a.Rows(), a.Cols()
-	out := make([]int, m)
 	if m == 0 || n == 0 {
-		return out
+		return
 	}
 	w := getWS()
 	defer putWS(w)
@@ -118,7 +144,6 @@ func runRightmost(a marray.Matrix, better func(x, y float64) bool) []int {
 		cols[j] = j
 	}
 	solveRightmost(w, a, better, betterEq, rows, cols, out)
-	return out
 }
 
 // solve is the classic SMAWK recursion: REDUCE discards columns that cannot

@@ -17,10 +17,19 @@ import (
 // boundary (solved recursively), exactly the two feasible-region classes of
 // Figure 2.2.
 func StaircaseRowMinima(a marray.Matrix) []int {
+	out := make([]int, a.Rows())
+	StaircaseRowMinimaInto(a, out)
+	return out
+}
+
+// StaircaseRowMinimaInto is StaircaseRowMinima writing into a
+// caller-provided slice of length >= a.Rows(), drawing all scratch from a
+// pooled workspace so the call itself allocates nothing. The native
+// backend's block solvers rely on this to keep alloc budgets intact.
+func StaircaseRowMinimaInto(a marray.Matrix, out []int) {
 	m, n := a.Rows(), a.Cols()
-	out := make([]int, m)
 	if m == 0 {
-		return out
+		return
 	}
 	w := getWS()
 	defer putWS(w)
@@ -37,7 +46,6 @@ func StaircaseRowMinima(a marray.Matrix) []int {
 	for i := range rows {
 		out[i] = res[i].col
 	}
-	return out
 }
 
 // StaircaseRowMinimaBrute scans every finite entry. O(m*n), for validation.

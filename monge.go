@@ -377,6 +377,30 @@ type BatchDriver struct{ d *batch.Driver }
 // NewBatchDriver returns a driver whose machines use the given PRAM mode.
 func NewBatchDriver(mode Mode) *BatchDriver { return &BatchDriver{d: batch.New(mode)} }
 
+// Backend selects the execution engine of a BatchDriver or DriverPool:
+// BackendPRAM (the default) answers queries on the simulated machines of
+// the paper's models, BackendNative directly on goroutines with no
+// simulation overhead. Answers are index-exact across backends — the
+// differential conformance suites enforce it — so the choice trades the
+// simulator's charged-cost observability and fault injection for raw
+// serving speed. See README "Execution backends".
+type Backend = batch.Backend
+
+const (
+	// BackendPRAM serves queries on the simulated PRAM machines.
+	BackendPRAM = batch.BackendPRAM
+	// BackendNative serves queries on native goroutine kernels.
+	BackendNative = batch.BackendNative
+)
+
+// NewBatchDriverBackend returns a driver routing queries to the given
+// backend. For BackendPRAM it is NewBatchDriver; for BackendNative the
+// driver runs internal/native kernels and retains no machines. To select
+// the backend of a DriverPool, set PoolOptions.Backend.
+func NewBatchDriverBackend(mode Mode, be Backend) *BatchDriver {
+	return &BatchDriver{d: batch.NewWithBackend(mode, be)}
+}
+
 // SetContext attaches ctx to every machine the driver holds or later
 // creates; cancellation aborts the running query with ErrCanceled.
 func (b *BatchDriver) SetContext(ctx context.Context) { b.d.SetContext(ctx) }
@@ -401,6 +425,29 @@ func (b *BatchDriver) RowMinimaBatch(as []Matrix) (idx [][]int, err error) {
 	}
 	err = catchInto(func() { idx = b.d.RowMinimaBatch(as) })
 	return idx, err
+}
+
+// StaircaseRowMinima is StaircaseRowMinimaPRAM on the driver's machine
+// for a's shape class (or the native staircase kernel on BackendNative).
+func (b *BatchDriver) StaircaseRowMinima(a Matrix) (idx []int, err error) {
+	if err = marray.CheckStaircaseMongeSampled(a); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = b.d.StaircaseRowMinima(a) })
+	return idx, err
+}
+
+// TubeMaxima is TubeMaximaPRAM on the driver's machine for c's shape
+// class (or the native tube kernel on BackendNative).
+func (b *BatchDriver) TubeMaxima(c Composite) (idx [][]int, vals [][]float64, err error) {
+	if err = marray.CheckMongeSampled(c.D); err != nil {
+		return nil, nil, err
+	}
+	if err = marray.CheckMongeSampled(c.E); err != nil {
+		return nil, nil, err
+	}
+	err = catchInto(func() { idx, vals = b.d.TubeMaxima(c) })
+	return idx, vals, err
 }
 
 // TubeMaximaBatch is TubeMaximaPRAM for a batch of Monge-composite
