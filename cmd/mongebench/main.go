@@ -94,6 +94,8 @@ var (
 	seed      int64
 	batchN    int
 	serveOn   bool
+	openLoop  bool
+	latOut    string
 	backendF  string
 	backendBE batch.Backend
 	workersN  int
@@ -154,6 +156,8 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 	fs.Int64Var(&seed, "seed", 1, "workload seed")
 	fs.IntVar(&batchN, "batch", 0, "run N same-shape queries per ladder size through the batched driver (internal/batch) instead of the -exp experiments, comparing amortized cost against fresh machines")
 	fs.BoolVar(&serveOn, "serve", false, "drive a synthetic query mix through the concurrent driver pool (internal/serve) instead of the -exp experiments, reporting throughput, shard balance, and cache traffic")
+	fs.BoolVar(&openLoop, "openloop", false, "with -serve: open-loop latency mode — fire queries at fixed -qps rungs (0.5x, 1x, 2x) regardless of completions, through the admission front, reporting p50/p95/p99 latency and rejection rate per rung")
+	fs.StringVar(&latOut, "latency-out", "", "with -openloop: write the latency ladder as JSON (schema monge-latency/v1) to this file (\"-\" for stdout)")
 	fs.StringVar(&backendF, "backend", "pram", "execution backend for -serve and -batch: pram (simulated machines) or native (direct goroutine kernels)")
 	fs.IntVar(&workersN, "workers", 0, "driver-pool worker count for -serve (0 = GOMAXPROCS)")
 	fs.Float64Var(&qpsLimit, "qps", 0, "throttle -serve submissions to this many queries per second (0 = unthrottled)")
@@ -175,6 +179,22 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 		backendBE = batch.BackendNative
 	default:
 		fmt.Fprintf(stderr, "mongebench: unknown -backend %q (want pram or native)\n", backendF)
+		return 2
+	}
+	if qpsLimit < 0 {
+		fmt.Fprintf(stderr, "mongebench: -qps %g is negative; pass a positive rate (or 0 for unthrottled closed-loop -serve)\n", qpsLimit)
+		return 2
+	}
+	if openLoop && !serveOn {
+		fmt.Fprintln(stderr, "mongebench: -openloop requires -serve (it drives the serving pool's admission front)")
+		return 2
+	}
+	if openLoop && qpsLimit <= 0 {
+		fmt.Fprintln(stderr, "mongebench: -openloop requires -qps > 0 (the base arrival rate of the 0.5x/1x/2x ladder)")
+		return 2
+	}
+	if latOut != "" && !openLoop {
+		fmt.Fprintln(stderr, "mongebench: -latency-out requires -openloop (it records the open-loop latency ladder)")
 		return 2
 	}
 
@@ -241,7 +261,13 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 			failed = true
 		}
 	}
-	if serveOn {
+	if openLoop {
+		matched = true
+		if err := runExperiment(openLoopExp); err != nil {
+			fmt.Fprintf(errw, "\nopen-loop experiment aborted: %v\n", err)
+			failed = true
+		}
+	} else if serveOn {
 		matched = true
 		if err := runExperiment(serveExp); err != nil {
 			fmt.Fprintf(errw, "\nserve experiment aborted: %v\n", err)
@@ -280,6 +306,10 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 		s := injector.Stats()
 		printf("\ninjected faults recovered: %d stalls, %d drops, %d garbles, %d timeouts\n",
 			s.Stalls, s.Drops, s.Garbles, s.Timeouts)
+		if s.QueueStalls+s.TicketDrops+s.SlowShards > 0 {
+			printf("injected serving faults absorbed: %d queue stalls, %d ticket drops, %d slow shards\n",
+				s.QueueStalls, s.TicketDrops, s.SlowShards)
+		}
 	}
 	if observer != nil {
 		if metricsOn {

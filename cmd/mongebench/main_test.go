@@ -202,3 +202,90 @@ func TestTraceOutWritesChromeTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestOpenLoopFlagValidation pins the usage contract of the open-loop
+// latency mode: every invalid flag combination exits 2 with a message
+// naming the offending flag, before any experiment work starts.
+func TestOpenLoopFlagValidation(t *testing.T) {
+	for name, tc := range map[string]struct {
+		args []string
+		want string // substring the usage message must contain
+	}{
+		"openloop-without-serve": {
+			args: []string{"-openloop", "-qps", "100"},
+			want: "-openloop requires -serve",
+		},
+		"openloop-without-qps": {
+			args: []string{"-serve", "-openloop"},
+			want: "-openloop requires -qps > 0",
+		},
+		"latency-out-without-openloop": {
+			args: []string{"-serve", "-latency-out", "x.json"},
+			want: "-latency-out requires -openloop",
+		},
+		"negative-qps": {
+			args: []string{"-serve", "-qps", "-5"},
+			want: "-qps -5 is negative",
+		},
+	} {
+		code, _, stderr := run(t, tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", name, code, stderr)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Errorf("%s: stderr missing %q:\n%s", name, tc.want, stderr)
+		}
+	}
+}
+
+// TestOpenLoopWritesLatencyLadder smoke-tests the open-loop mode end to
+// end: a light run exits 0 and writes a monge-latency/v1 document with
+// the three rungs, consistent outcome counts, and monotone percentiles.
+func TestOpenLoopWritesLatencyLadder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lat.json")
+	code, stdout, stderr := run(t,
+		"-serve", "-openloop", "-qps", "400", "-queries", "40",
+		"-maxn", "64", "-workers", "2", "-latency-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Open-loop") {
+		t.Fatalf("missing open-loop report:\n%s", stdout)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Points []struct {
+			Multiplier float64 `json:"multiplier"`
+			Sent       int64   `json:"sent"`
+			OK         int64   `json:"ok"`
+			Rejected   int64   `json:"rejected"`
+			Deadline   int64   `json:"deadline_expired"`
+			P50        float64 `json:"p50_us"`
+			P95        float64 `json:"p95_us"`
+			P99        float64 `json:"p99_us"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("latency ladder is not valid JSON: %v", err)
+	}
+	if doc.Schema != "monge-latency/v1" {
+		t.Fatalf("schema %q, want monge-latency/v1", doc.Schema)
+	}
+	if len(doc.Points) != 3 {
+		t.Fatalf("%d rungs, want 3 (0.5x, 1x, 2x)", len(doc.Points))
+	}
+	for _, p := range doc.Points {
+		if p.Sent != p.OK+p.Rejected+p.Deadline {
+			t.Errorf("rung %gx: sent %d != ok %d + rejected %d + deadline %d",
+				p.Multiplier, p.Sent, p.OK, p.Rejected, p.Deadline)
+		}
+		if p.OK > 0 && !(p.P50 > 0 && p.P50 <= p.P95 && p.P95 <= p.P99) {
+			t.Errorf("rung %gx: percentiles not positive/monotone: p50=%g p95=%g p99=%g",
+				p.Multiplier, p.P50, p.P95, p.P99)
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package admit is the load-discipline front of the serving layer: it
+// wraps a serve.Pool in admission control, per-tenant quotas, priority
+// shedding, per-query deadlines, and a retry/hedging policy, so that an
+// overloaded pool degrades into fast typed rejections instead of
+// convoys of blocked callers.
+//
+// # Admission
+//
+// Every request passes four gates before it reaches the pool's queue:
+// the caller's context must not already be done (ErrDeadlineExceeded /
+// merr.ErrCanceled), the front's inflight cap must have room
+// (ErrOverloaded), low-priority work is shed early when inflight load
+// crosses the shed threshold (ErrOverloaded, counted separately as
+// "shed" — capacity above the threshold is reserved for priority > 0),
+// and the tenant's token bucket must hold a token (ErrOverloaded).
+// The enqueue itself is the pool's fail-fast TrySubmit: a full queue is
+// an immediate ErrOverloaded, never a block. Admission therefore never
+// blocks past the caller's context — in fact it never blocks at all.
+//
+// # Retries and hedging
+//
+// Do runs the full request lifecycle. Failed attempts with a retryable
+// condition (overload) are retried up to Options.RetryMax attempts with
+// exponential backoff (the same doubling schedule the machine fault
+// layer charges via faults.BackoffTime), but only while the retry
+// budget holds: each arriving request earns Options.RetryBudget tokens
+// and each retry spends one, bounding retry amplification under
+// sustained overload. With Options.HedgeAfter set, a request that has
+// not resolved within the threshold issues one hedged second attempt
+// and takes whichever answer lands first — index-exact by construction,
+// because queries are pure.
+//
+// # Chaos
+//
+// The front consults the pool's serving-boundary fault injector
+// (serve.Options.Chaos, defaulting to the process-wide faults.Global):
+// injected "ticket drops" simulate a result lost between worker and
+// caller, which the front recovers by resubmitting. Together with the
+// pool's injected queue stalls and slow shards, this makes the entire
+// socket-to-kernel path chaos-testable: the conformance suite proves
+// that under injection every admitted query still completes index-exact
+// or fails with a typed error — no hangs, no silent zeros.
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"monge/internal/faults"
+	"monge/internal/obs"
+	"monge/internal/serve"
+)
+
+// Re-exported sentinels, so callers holding only an admit handle can
+// errors.Is against the serving error vocabulary.
+var (
+	ErrOverloaded       = serve.ErrOverloaded
+	ErrDeadlineExceeded = serve.ErrDeadlineExceeded
+)
+
+// Options is the load-discipline policy; it aliases serve.Admission so
+// the whole serving stack is configured through one options struct
+// (monge.PoolOptions.Admission).
+type Options = serve.Admission
+
+// Request is one admitted unit of work: the query plus its admission
+// metadata. Tenant keys the per-tenant token bucket (the empty string
+// is a valid shared tenant). Priority orders shedding under load:
+// priority <= 0 work is shed first when the front approaches its
+// inflight cap, priority > 0 work keeps being admitted until the hard
+// cap.
+type Request struct {
+	Query    serve.Query
+	Tenant   string
+	Priority int
+}
+
+// Stats is a point-in-time view of the front's admission counters (the
+// same counts are mirrored into the obs "serve" site when an observer
+// is installed).
+type Stats struct {
+	Inflight        int64 // admitted queries not yet resolved
+	Admitted        int64
+	Rejected        int64 // hard rejections: inflight cap, quota, full queue
+	Shed            int64 // low-priority rejections below the hard cap
+	Hedged          int64 // hedged second attempts issued
+	Retried         int64 // resubmissions: policy retries + recovered ticket drops
+	DeadlineExpired int64 // requests rejected at admission with a done context
+}
+
+// tokenScale is the fixed-point scale of the retry budget (one retry
+// token = tokenScale units in the atomic accumulator).
+const tokenScale = 1000
+
+// Front wraps a serve.Pool in the admission policy. Create with New;
+// a Front is safe for concurrent use by any number of goroutines.
+type Front struct {
+	pool *serve.Pool
+
+	maxInflight int64
+	shedAt      int64
+	rate        float64
+	burst       float64
+	retryMax    int
+	backoff     time.Duration
+	hedgeAfter  time.Duration
+	earn        int64 // budget tokens earned per request, scaled
+	budgetCap   int64 // scaled
+
+	inflight atomic.Int64
+	budget   atomic.Int64
+	seq      atomic.Int64 // chaos unit ids (ticket drops)
+	watchers sync.WaitGroup
+
+	mu      sync.Mutex
+	tenants map[string]*bucket
+
+	st   Stats // atomic fields accessed via atomic helpers on int64
+	stMu struct {
+		admitted, rejected, shed, hedged, retried, deadline atomic.Int64
+	}
+
+	obsC *obs.Counters
+}
+
+// bucket is one tenant's token bucket; guarded by Front.mu.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// New returns a Front applying opt on top of pool. A nil opt is the
+// zero policy: fail-fast admission with the default inflight cap, no
+// quotas, no retries, no hedging.
+func New(pool *serve.Pool, opt *Options) *Front {
+	var o Options
+	if opt != nil {
+		o = *opt
+	}
+	f := &Front{
+		pool:       pool,
+		rate:       o.TenantRate,
+		burst:      float64(o.TenantBurst),
+		retryMax:   o.RetryMax,
+		backoff:    o.RetryBackoff,
+		hedgeAfter: o.HedgeAfter,
+		tenants:    make(map[string]*bucket),
+	}
+	f.maxInflight = int64(o.MaxInflight)
+	if f.maxInflight <= 0 {
+		f.maxInflight = int64(4 * pool.Workers())
+	}
+	shed := o.ShedFraction
+	if shed <= 0 || shed > 1 {
+		shed = 0.75
+	}
+	f.shedAt = int64(shed * float64(f.maxInflight))
+	if f.shedAt < 1 {
+		f.shedAt = 1
+	}
+	if f.rate > 0 && f.burst < 1 {
+		f.burst = 1
+	}
+	if f.retryMax < 1 {
+		f.retryMax = 1
+	}
+	if f.backoff <= 0 {
+		f.backoff = time.Millisecond
+	}
+	budget := o.RetryBudget
+	if budget <= 0 {
+		budget = 0.1
+	}
+	f.earn = int64(budget * tokenScale)
+	f.budgetCap = 10 * tokenScale // at most 10 banked retries
+	f.budget.Store(f.budgetCap)   // start full so cold-start faults can retry
+	if ob := obs.Global(); ob != nil {
+		f.obsC = ob.Site("serve")
+	}
+	return f
+}
+
+// Pool returns the wrapped serving pool.
+func (f *Front) Pool() *serve.Pool { return f.pool }
+
+// bump increments a local stat and, when an observer is installed, its
+// obs mirror.
+func (f *Front) bump(local *atomic.Int64, global *atomic.Int64) {
+	local.Add(1)
+	if f.obsC != nil {
+		global.Add(1)
+	}
+}
+
+// Admit passes req through the admission gates and enqueues it,
+// returning the query's ticket. It never blocks: every rejection is an
+// immediate typed error (ErrOverloaded, ErrDeadlineExceeded,
+// merr.ErrCanceled, serve.ErrClosed). The inflight slot is released
+// when the ticket resolves, whether or not the caller awaits it.
+func (f *Front) Admit(ctx context.Context, req Request) (*serve.Ticket, error) {
+	if ctx.Err() != nil {
+		f.bump(&f.stMu.deadline, f.obsDeadline())
+		return nil, serve.ContextError(ctx)
+	}
+	n := f.inflight.Add(1)
+	if n > f.maxInflight {
+		f.inflight.Add(-1)
+		f.bump(&f.stMu.rejected, f.obsRejected())
+		return nil, fmt.Errorf("%w: inflight cap %d reached", ErrOverloaded, f.maxInflight)
+	}
+	if req.Priority <= 0 && n > f.shedAt {
+		f.inflight.Add(-1)
+		f.bump(&f.stMu.shed, f.obsShed())
+		return nil, fmt.Errorf("%w: low-priority work shed at load %d/%d", ErrOverloaded, n, f.maxInflight)
+	}
+	if f.rate > 0 && !f.takeTenantToken(req.Tenant) {
+		f.inflight.Add(-1)
+		f.bump(&f.stMu.rejected, f.obsRejected())
+		return nil, fmt.Errorf("%w: tenant %q quota exhausted", ErrOverloaded, req.Tenant)
+	}
+	tk, err := f.pool.TrySubmit(ctx, req.Query)
+	if err != nil {
+		f.inflight.Add(-1)
+		if errors.Is(err, ErrOverloaded) {
+			f.bump(&f.stMu.rejected, f.obsRejected())
+		}
+		return nil, err
+	}
+	f.bump(&f.stMu.admitted, f.obsAdmitted())
+	f.watchers.Add(1)
+	go func() {
+		defer f.watchers.Done()
+		<-tk.Done()
+		f.inflight.Add(-1)
+	}()
+	return tk, nil
+}
+
+// obs accessor helpers: nil-safe targets for bump when no observer is
+// installed (bump checks obsC before touching them).
+func (f *Front) obsAdmitted() *atomic.Int64 {
+	return obsField(f.obsC, func(c *obs.Counters) *atomic.Int64 { return &c.Admitted })
+}
+func (f *Front) obsRejected() *atomic.Int64 {
+	return obsField(f.obsC, func(c *obs.Counters) *atomic.Int64 { return &c.Rejected })
+}
+func (f *Front) obsShed() *atomic.Int64 {
+	return obsField(f.obsC, func(c *obs.Counters) *atomic.Int64 { return &c.Shed })
+}
+func (f *Front) obsHedged() *atomic.Int64 {
+	return obsField(f.obsC, func(c *obs.Counters) *atomic.Int64 { return &c.Hedged })
+}
+func (f *Front) obsRetried() *atomic.Int64 {
+	return obsField(f.obsC, func(c *obs.Counters) *atomic.Int64 { return &c.Retried })
+}
+func (f *Front) obsDeadline() *atomic.Int64 {
+	return obsField(f.obsC, func(c *obs.Counters) *atomic.Int64 { return &c.DeadlineExpired })
+}
+
+func obsField(c *obs.Counters, get func(*obs.Counters) *atomic.Int64) *atomic.Int64 {
+	if c == nil {
+		return nil
+	}
+	return get(c)
+}
+
+// takeTenantToken refills and debits tenant's bucket.
+func (f *Front) takeTenantToken(tenant string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := time.Now()
+	b := f.tenants[tenant]
+	if b == nil {
+		b = &bucket{tokens: f.burst, last: now}
+		f.tenants[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * f.rate
+	if b.tokens > f.burst {
+		b.tokens = f.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// takeRetryToken spends one budgeted retry token if the budget holds.
+func (f *Front) takeRetryToken() bool {
+	for {
+		cur := f.budget.Load()
+		if cur < tokenScale {
+			return false
+		}
+		if f.budget.CompareAndSwap(cur, cur-tokenScale) {
+			return true
+		}
+	}
+}
+
+// earnBudget credits the per-request retry allowance, capped.
+func (f *Front) earnBudget() {
+	if f.budget.Add(f.earn) > f.budgetCap {
+		f.budget.Store(f.budgetCap)
+	}
+}
+
+// retryable reports whether err is worth a budgeted retry: overload is
+// (capacity frees up), deadlines, cancellations, and structural errors
+// are not.
+func retryable(err error) bool { return errors.Is(err, ErrOverloaded) }
+
+// backoffSleep waits the attempt-th backoff interval (doubling from the
+// base, capped at 1024x — the schedule faults.BackoffTime charges the
+// simulated machines), or less if ctx is done first.
+func (f *Front) backoffSleep(ctx context.Context, attempt int) {
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 10 {
+		shift = 10
+	}
+	t := time.NewTimer(f.backoff << uint(shift))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Do runs the full lifecycle of one request: admission, await, policy
+// retries under the budget, hedging past the latency threshold, and
+// chaos ticket-drop recovery. The returned Result either carries an
+// index-exact answer or a typed error (ErrOverloaded,
+// ErrDeadlineExceeded, merr.ErrCanceled, serve.ErrClosed, or a
+// structural error thrown by the query itself); Do never blocks past
+// ctx.
+func (f *Front) Do(ctx context.Context, req Request) serve.Result {
+	f.earnBudget()
+	unit := f.seq.Add(1)
+	attempt := 0    // policy retries consumed
+	redelivery := 0 // chaos ticket-drop redeliveries (bounded by faults.MaxAttempts)
+	chaos := f.pool.Chaos()
+	for {
+		tk, err := f.Admit(ctx, req)
+		if err != nil {
+			if retryable(err) && attempt+1 < f.retryMax && ctx.Err() == nil && f.takeRetryToken() {
+				attempt++
+				f.bump(&f.stMu.retried, f.obsRetried())
+				f.backoffSleep(ctx, attempt)
+				continue
+			}
+			return serve.Result{Err: err}
+		}
+		res := f.await(ctx, req, tk)
+		if res.Err == nil && chaos.Enabled() && chaos.TicketDrop(unit, redelivery) {
+			// The answer was computed but lost on the way back — the
+			// injected transport fault. Queries are pure: resubmit and
+			// recompute; the redelivered answer is identical.
+			redelivery++
+			f.bump(&f.stMu.retried, f.obsRetried())
+			continue
+		}
+		if res.Err != nil && retryable(res.Err) && attempt+1 < f.retryMax && ctx.Err() == nil && f.takeRetryToken() {
+			attempt++
+			f.bump(&f.stMu.retried, f.obsRetried())
+			f.backoffSleep(ctx, attempt)
+			continue
+		}
+		return res
+	}
+}
+
+// await blocks until tk resolves, ctx is done, or the hedging threshold
+// passes — in which case one hedged second attempt races the first and
+// the earlier answer wins.
+func (f *Front) await(ctx context.Context, req Request, tk *serve.Ticket) serve.Result {
+	if f.hedgeAfter <= 0 {
+		select {
+		case <-tk.Done():
+			return tk.Result()
+		case <-ctx.Done():
+			return serve.Result{Err: serve.ContextError(ctx)}
+		}
+	}
+	timer := time.NewTimer(f.hedgeAfter)
+	defer timer.Stop()
+	select {
+	case <-tk.Done():
+		return tk.Result()
+	case <-ctx.Done():
+		return serve.Result{Err: serve.ContextError(ctx)}
+	case <-timer.C:
+	}
+	// Past the latency threshold: hedge. Failure to admit the hedge
+	// (no capacity) is not an error — the first attempt keeps running.
+	tk2, err := f.Admit(ctx, req)
+	if err != nil {
+		select {
+		case <-tk.Done():
+			return tk.Result()
+		case <-ctx.Done():
+			return serve.Result{Err: serve.ContextError(ctx)}
+		}
+	}
+	f.bump(&f.stMu.hedged, f.obsHedged())
+	select {
+	case <-tk.Done():
+		return tk.Result()
+	case <-tk2.Done():
+		return tk2.Result()
+	case <-ctx.Done():
+		return serve.Result{Err: serve.ContextError(ctx)}
+	}
+}
+
+// Stats snapshots the admission counters.
+func (f *Front) Stats() Stats {
+	return Stats{
+		Inflight:        f.inflight.Load(),
+		Admitted:        f.stMu.admitted.Load(),
+		Rejected:        f.stMu.rejected.Load(),
+		Shed:            f.stMu.shed.Load(),
+		Hedged:          f.stMu.hedged.Load(),
+		Retried:         f.stMu.retried.Load(),
+		DeadlineExpired: f.stMu.deadline.Load(),
+	}
+}
+
+// Drain blocks until every admitted query's inflight slot has been
+// released (all ticket watchers exited). Call after the pool has
+// drained (pool.Wait or pool.Close) to guarantee no front goroutine
+// outlives the serving stack.
+func (f *Front) Drain() { f.watchers.Wait() }
+
+// mustNotBlock is a compile-time reminder that faults.MaxAttempts
+// bounds chaos redeliveries; referenced here so the contract is
+// documented next to the import.
+var _ = faults.MaxAttempts

@@ -36,6 +36,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // MaxAttempts caps the retries any single unit of work can suffer, so a
@@ -54,6 +55,14 @@ const (
 	siteDrop  uint64 = 0x44524f50 << 8   // "DROP"
 	siteGarb  uint64 = 0x47415242 << 8   // "GARB"
 	siteTime  uint64 = 0x54494d45 << 8   // "TIME"
+
+	// Serving-boundary fault sites (internal/serve and internal/admit):
+	// admission-queue stalls, query results lost between worker and
+	// caller ("ticket drops", recovered by resubmission — queries are
+	// pure), and shards that serve one query pathologically slowly.
+	siteQStall uint64 = 0x515354414c4c << 8 // "QSTALL"
+	siteTDrop  uint64 = 0x5444524f50 << 8   // "TDROP"
+	siteSlow   uint64 = 0x534c4f57 << 8     // "SLOW"
 )
 
 // Stats counts the faults an injector has delivered and the recoveries
@@ -72,6 +81,15 @@ type Stats struct {
 	// Timeouts is the number of superstep executions that timed out and
 	// were re-run.
 	Timeouts int64
+	// QueueStalls is the number of admission-queue enqueues the serving
+	// boundary delayed (injected submit-path stalls).
+	QueueStalls int64
+	// TicketDrops is the number of served results lost between worker
+	// and caller and recovered by resubmission.
+	TicketDrops int64
+	// SlowShards is the number of queries served with injected extra
+	// shard latency.
+	SlowShards int64
 }
 
 // Injector decides and counts injected faults. A nil *Injector is valid
@@ -118,10 +136,13 @@ func (in *Injector) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Stalls:   atomic.LoadInt64(&in.stats.Stalls),
-		Drops:    atomic.LoadInt64(&in.stats.Drops),
-		Garbles:  atomic.LoadInt64(&in.stats.Garbles),
-		Timeouts: atomic.LoadInt64(&in.stats.Timeouts),
+		Stalls:      atomic.LoadInt64(&in.stats.Stalls),
+		Drops:       atomic.LoadInt64(&in.stats.Drops),
+		Garbles:     atomic.LoadInt64(&in.stats.Garbles),
+		Timeouts:    atomic.LoadInt64(&in.stats.Timeouts),
+		QueueStalls: atomic.LoadInt64(&in.stats.QueueStalls),
+		TicketDrops: atomic.LoadInt64(&in.stats.TicketDrops),
+		SlowShards:  atomic.LoadInt64(&in.stats.SlowShards),
 	}
 }
 
@@ -226,6 +247,58 @@ func BackoffTime(retries int) int64 {
 		}
 	}
 	return total
+}
+
+// Serving-boundary chaos. These decisions follow the same determinism
+// contract as the machine-level sites — pure hashes of (seed, site,
+// unit, attempt), never of time or goroutine identity — so a chaos run
+// of the serving layer sees the identical fault schedule at any worker
+// count. The injected latencies are fixed small constants: large enough
+// to reorder queue service and trip hedging thresholds in tests, small
+// enough that a chaos suite at rate 0.05 stays fast.
+const (
+	// QueueStallLatency is the submit-path delay of one injected queue
+	// stall (the serving analogue of a stalled chunk).
+	QueueStallLatency = 200 * time.Microsecond
+	// SlowShardLatency is the extra service latency of one injected
+	// slow-shard fault.
+	SlowShardLatency = 2 * time.Millisecond
+)
+
+// QueueStall returns the injected delay before enqueueing admission
+// unit `unit` (0 in the overwhelmingly common clean case), counting
+// delivered stalls.
+func (in *Injector) QueueStall(unit int64) time.Duration {
+	if !in.Enabled() || !in.fires(siteQStall, 0, uint64(unit), 0) {
+		return 0
+	}
+	atomic.AddInt64(&in.stats.QueueStalls, 1)
+	return QueueStallLatency
+}
+
+// TicketDrop reports whether the result of admission unit `unit`'s
+// given delivery attempt is lost between worker and caller (the caller
+// recovers by resubmitting — queries are pure, so the recomputed answer
+// is identical). Decisions for successive attempts are independent
+// hashes and attempts at MaxAttempts or beyond never drop, so recovery
+// always terminates.
+func (in *Injector) TicketDrop(unit int64, attempt int) bool {
+	if !in.Enabled() || attempt >= MaxAttempts || !in.fires(siteTDrop, 0, uint64(unit), uint64(attempt)) {
+		return false
+	}
+	atomic.AddInt64(&in.stats.TicketDrops, 1)
+	return true
+}
+
+// SlowShard returns the extra service latency injected into shard
+// `shard`'s service of its seq-th query (0 in the clean case), counting
+// delivered slow-shard faults.
+func (in *Injector) SlowShard(shard int, seq int64) time.Duration {
+	if !in.Enabled() || !in.fires(siteSlow, uint64(shard), uint64(seq), 0) {
+		return 0
+	}
+	atomic.AddInt64(&in.stats.SlowShards, 1)
+	return SlowShardLatency
 }
 
 var (

@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestServingSitesDeterministic pins the pure-hash contract of the
+// serving-boundary fault sites: same seed and rate reproduce the exact
+// schedule, a different seed diverges somewhere, and the three sites
+// draw from independent streams.
+func TestServingSitesDeterministic(t *testing.T) {
+	a, b := New(7, 0.3), New(7, 0.3)
+	other := New(9, 0.3)
+	sameAsOther := true
+	for unit := int64(0); unit < 200; unit++ {
+		da := a.QueueStall(unit)
+		if da != b.QueueStall(unit) {
+			t.Fatalf("unit %d: queue-stall schedule differs for same seed", unit)
+		}
+		if da != other.QueueStall(unit) {
+			sameAsOther = false
+		}
+		for attempt := 0; attempt < 3; attempt++ {
+			if a.TicketDrop(unit, attempt) != b.TicketDrop(unit, attempt) {
+				t.Fatalf("unit %d attempt %d: ticket-drop schedule differs for same seed", unit, attempt)
+			}
+		}
+		if a.SlowShard(int(unit)%4, unit) != b.SlowShard(int(unit)%4, unit) {
+			t.Fatalf("unit %d: slow-shard schedule differs for same seed", unit)
+		}
+	}
+	if sameAsOther {
+		t.Fatal("seeds 7 and 9 produced identical queue-stall schedules")
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestServingSitesNilAndDisabled pins the call-site contract: nil and
+// rate-0 injectors inject nothing, so the serving layer needs no
+// special-casing beyond its existing nil check.
+func TestServingSitesNilAndDisabled(t *testing.T) {
+	var nilInj *Injector
+	for _, in := range []*Injector{nilInj, New(1, 0)} {
+		for unit := int64(0); unit < 20; unit++ {
+			if in.QueueStall(unit) != 0 {
+				t.Fatal("disabled injector stalls the queue")
+			}
+			if in.TicketDrop(unit, 0) {
+				t.Fatal("disabled injector drops tickets")
+			}
+			if in.SlowShard(0, unit) != 0 {
+				t.Fatal("disabled injector slows shards")
+			}
+		}
+		if s := in.Stats(); s.QueueStalls != 0 || s.TicketDrops != 0 || s.SlowShards != 0 {
+			t.Fatalf("disabled injector counted serving faults: %+v", s)
+		}
+	}
+}
+
+// TestTicketDropBounded pins retry-termination: past MaxAttempts the
+// drop site never fires, so drop-recovery loops always converge even at
+// rate 0.9.
+func TestTicketDropBounded(t *testing.T) {
+	in := New(3, 0.9)
+	fired := false
+	for unit := int64(0); unit < 100; unit++ {
+		if in.TicketDrop(unit, 0) {
+			fired = true
+		}
+		if in.TicketDrop(unit, MaxAttempts) {
+			t.Fatalf("unit %d: ticket drop fired at attempt %d (the recovery bound)", unit, MaxAttempts)
+		}
+	}
+	if !fired {
+		t.Fatal("rate-0.9 injector never dropped a ticket in 100 units")
+	}
+}
+
+// TestServingLatenciesAndCounts pins the injected delays' magnitudes
+// (they must stay bounded constants the latency ladder can absorb) and
+// that delivered faults are counted in Stats.
+func TestServingLatenciesAndCounts(t *testing.T) {
+	in := New(5, 0.9)
+	var stalls, slows int
+	for unit := int64(0); unit < 100; unit++ {
+		if d := in.QueueStall(unit); d != 0 {
+			stalls++
+			if d != QueueStallLatency {
+				t.Fatalf("queue stall latency %v, want %v", d, QueueStallLatency)
+			}
+		}
+		if d := in.SlowShard(1, unit); d != 0 {
+			slows++
+			if d != SlowShardLatency {
+				t.Fatalf("slow-shard latency %v, want %v", d, SlowShardLatency)
+			}
+		}
+	}
+	if stalls == 0 || slows == 0 {
+		t.Fatalf("rate-0.9 injector delivered stalls=%d slows=%d, want both > 0", stalls, slows)
+	}
+	st := in.Stats()
+	if st.QueueStalls != int64(stalls) || st.SlowShards != int64(slows) {
+		t.Fatalf("stats %+v disagree with delivered counts stalls=%d slows=%d", st, stalls, slows)
+	}
+	if QueueStallLatency <= 0 || QueueStallLatency > time.Millisecond {
+		t.Fatalf("QueueStallLatency %v out of the sub-millisecond design range", QueueStallLatency)
+	}
+	if SlowShardLatency <= 0 || SlowShardLatency > 10*time.Millisecond {
+		t.Fatalf("SlowShardLatency %v out of the few-millisecond design range", SlowShardLatency)
+	}
+}

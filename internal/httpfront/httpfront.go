@@ -1,0 +1,263 @@
+// Package httpfront exposes the load-disciplined serving stack over
+// net/http as a small JSON API, so the library's typed serving errors
+// become conventional HTTP status codes:
+//
+//	POST /v1/query   run one query        200 / 400 / 429 / 503 / 504
+//	GET  /v1/stats   pool + front stats   200
+//	GET  /debug/vars expvar (monge_obs)   200
+//
+// The mapping is exact: ErrOverloaded (full queue, inflight cap, shed,
+// quota) is 429 with a Retry-After hint, ErrDeadlineExceeded is 504,
+// merr.ErrCanceled and serve.ErrClosed are 503, structural input errors
+// (ErrNotMonge, ErrNotStaircase, ErrDimensionMismatch, bad JSON) are
+// 400. Per-query deadlines ride in the request body (deadline_ms) and
+// compose with client disconnects through the request context.
+package httpfront
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"monge/internal/admit"
+	"monge/internal/marray"
+	"monge/internal/merr"
+	"monge/internal/obs"
+	"monge/internal/serve"
+)
+
+// maxBodyBytes bounds a query body; matrices past this belong in the
+// batch API, not a JSON front end.
+const maxBodyBytes = 64 << 20
+
+// Entry is a JSON matrix entry that decodes null as +Inf, so staircase
+// arrays (blocked entries) are expressible in plain JSON.
+type Entry float64
+
+// UnmarshalJSON decodes a number, or null as +Inf.
+func (e *Entry) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*e = Entry(math.Inf(1))
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*e = Entry(f)
+	return nil
+}
+
+// QueryRequest is the POST /v1/query body.
+type QueryRequest struct {
+	// Kind is "row-minima", "staircase-row-minima", or "tube-maxima".
+	Kind string `json:"kind"`
+	// A is the input array of the row problems (null entries are +Inf,
+	// for the staircase problem).
+	A [][]Entry `json:"a,omitempty"`
+	// D and E are the factor matrices of the tube problem.
+	D [][]Entry `json:"d,omitempty"`
+	E [][]Entry `json:"e,omitempty"`
+	// Tenant keys the per-tenant quota bucket; Priority orders shedding
+	// (<= 0 is shed first under load).
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	// DeadlineMS bounds the query end to end; 0 means no deadline
+	// beyond the client connection.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// QueryResponse is the POST /v1/query success body.
+type QueryResponse struct {
+	Idx   []int       `json:"idx,omitempty"`
+	TubeJ [][]int     `json:"tube_j,omitempty"`
+	TubeV [][]float64 `json:"tube_v,omitempty"`
+}
+
+// ErrorResponse is the body of every non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Pool  serve.Stats `json:"pool"`
+	Front admit.Stats `json:"front"`
+}
+
+// Server serves the JSON API over an admission front.
+type Server struct {
+	front *admit.Front
+}
+
+// New returns a server answering queries through front.
+func New(front *admit.Front) *Server { return &Server{front: front} }
+
+// Handler returns the API's http.Handler. Installing it also publishes
+// the obs counters as the expvar "monge_obs" (visible on /debug/vars).
+func (s *Server) Handler() http.Handler {
+	obs.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var qr QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&qr); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding body: %v", err))
+		return
+	}
+	q, err := buildQuery(&qr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	ctx := r.Context()
+	if qr.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(qr.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	res := s.front.Do(ctx, admit.Request{Query: q, Tenant: qr.Tenant, Priority: qr.Priority})
+	if res.Err != nil {
+		status, code := classify(res.Err)
+		writeError(w, status, code, res.Err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Idx: res.Idx, TubeJ: res.TubeJ, TubeV: res.TubeV})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Pool:  s.front.Pool().Stats(),
+		Front: s.front.Stats(),
+	})
+}
+
+// buildQuery validates and converts the JSON request into a pool
+// query, running the sampled structural screens on the handler
+// goroutine so bad inputs are rejected before admission.
+func buildQuery(qr *QueryRequest) (serve.Query, error) {
+	switch qr.Kind {
+	case "row-minima":
+		a, err := denseOf(qr.A, "a")
+		if err != nil {
+			return serve.Query{}, err
+		}
+		if err := marray.CheckMongeSampled(a); err != nil {
+			return serve.Query{}, err
+		}
+		return serve.Query{Kind: serve.RowMinima, A: a}, nil
+	case "staircase-row-minima":
+		a, err := denseOf(qr.A, "a")
+		if err != nil {
+			return serve.Query{}, err
+		}
+		if err := marray.CheckStaircaseMongeSampled(a); err != nil {
+			return serve.Query{}, err
+		}
+		return serve.Query{Kind: serve.StaircaseRowMinima, A: a}, nil
+	case "tube-maxima":
+		d, err := denseOf(qr.D, "d")
+		if err != nil {
+			return serve.Query{}, err
+		}
+		e, err := denseOf(qr.E, "e")
+		if err != nil {
+			return serve.Query{}, err
+		}
+		if err := marray.CheckMongeSampled(d); err != nil {
+			return serve.Query{}, err
+		}
+		if err := marray.CheckMongeSampled(e); err != nil {
+			return serve.Query{}, err
+		}
+		var c marray.Composite
+		if err := catch(func() { c = marray.NewComposite(d, e) }); err != nil {
+			return serve.Query{}, err
+		}
+		return serve.Query{Kind: serve.TubeMaxima, C: c}, nil
+	default:
+		return serve.Query{}, fmt.Errorf("unknown kind %q (want row-minima, staircase-row-minima, or tube-maxima)", qr.Kind)
+	}
+}
+
+// denseOf materializes the JSON rows, rejecting empty or ragged input.
+func denseOf(rows [][]Entry, name string) (marray.Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("matrix %q is empty", name)
+	}
+	conv := make([][]float64, len(rows))
+	n := len(rows[0])
+	for i, r := range rows {
+		if len(r) != n {
+			return nil, fmt.Errorf("matrix %q is ragged: row %d has %d entries, want %d", name, i, len(r), n)
+		}
+		conv[i] = make([]float64, n)
+		for j, e := range r {
+			conv[i][j] = float64(e)
+		}
+	}
+	var d *marray.Dense
+	if err := catch(func() { d = marray.FromRows(conv) }); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// catch converts a thrown merr failure into a returned error.
+func catch(f func()) (err error) {
+	defer merr.Catch(&err)
+	f()
+	return nil
+}
+
+// classify maps a serving error to its HTTP status and short code.
+func classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, serve.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, merr.ErrCanceled):
+		return http.StatusServiceUnavailable, "canceled"
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable, "closed"
+	case errors.Is(err, merr.ErrNotMonge),
+		errors.Is(err, merr.ErrNotInverseMonge),
+		errors.Is(err, merr.ErrNotStaircase),
+		errors.Is(err, merr.ErrDimensionMismatch):
+		return http.StatusBadRequest, "bad_request"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusTooManyRequests {
+		// A fail-fast rejection clears quickly; hint an immediate retry
+		// window rather than a long penalty box.
+		w.Header().Set("Retry-After", strconv.Itoa(1))
+	}
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the bucket count of a Hist: bucket i counts
+// observations whose microsecond value v satisfies 2^(i-1) <= v < 2^i
+// (bucket 0 holds v == 0), so the histogram spans sub-microsecond waits
+// up to ~2.3 minutes before clamping into the last bucket.
+const HistBuckets = 28
+
+// Hist is a fixed power-of-two latency histogram with atomic buckets —
+// the queue-wait / service-latency companion of the Counters block. Like
+// the counters it is lock-free, allocation-free, and safe for concurrent
+// Observe from any number of goroutines; quantiles are approximate (the
+// upper edge of the bucket the quantile falls in), which is exactly
+// enough resolution for load-discipline gates (p99 within 2x).
+type Hist struct {
+	count   atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us)) // 0 for 0, k for [2^(k-1), 2^k)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Snapshot returns the bucket counts (index i = observations in
+// [2^(i-1), 2^i) microseconds; index 0 = sub-microsecond), trimmed of
+// trailing empty buckets so the JSON export stays short. Returns nil
+// for an empty histogram.
+func (h *Hist) Snapshot() []int64 {
+	last := -1
+	var out [HistBuckets]int64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+		if out[i] != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	snap := make([]int64, last+1)
+	copy(snap, out[:last+1])
+	return snap
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]) of the
+// recorded durations: the upper edge of the bucket the quantile falls
+// in. Returns 0 for an empty histogram.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			// Upper edge of bucket i: 2^i - 1 microseconds (bucket 0 is
+			// the sub-microsecond bucket, reported as 1us).
+			return time.Duration(int64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<uint(HistBuckets)) * time.Microsecond
+}

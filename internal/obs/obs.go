@@ -124,6 +124,32 @@ type Counters struct {
 	ShardImbalance atomic.Int64
 	CacheHits      atomic.Int64
 	CacheMisses    atomic.Int64
+
+	// QueueDepth is a point-in-time gauge of the submit queue (stored,
+	// not accumulated, at every enqueue and dequeue), complementing the
+	// QueueDepthPeak high-water mark in the expvar snapshot.
+	QueueDepth atomic.Int64
+
+	// Load-discipline counters (internal/admit front over the serve
+	// pool). Admitted counts queries that passed every admission check;
+	// Rejected counts hard rejections (inflight cap, tenant quota, full
+	// queue); Shed the subset of rejections that dropped low-priority
+	// work under load before the hard cap; Hedged issued second
+	// attempts; Retried re-submissions (policy retries and recovered
+	// injected ticket drops); DeadlineExpired queries dropped, at
+	// admission or before evaluation, because their context had already
+	// expired.
+	Admitted        atomic.Int64
+	Rejected        atomic.Int64
+	Shed            atomic.Int64
+	Hedged          atomic.Int64
+	Retried         atomic.Int64
+	DeadlineExpired atomic.Int64
+
+	// QueueWait is the enqueue-to-dequeue latency histogram of the
+	// serve pool's submit queue, recorded only while an observer is
+	// installed (the wall-clock reads stay off the default path).
+	QueueWait Hist
 }
 
 // StoreMax raises the counter to v if v exceeds its current value — the
@@ -171,6 +197,23 @@ type CounterSnapshot struct {
 	ShardImbalance    int64 `json:"shard_imbalance,omitempty"`
 	CacheHits         int64 `json:"cache_hits,omitempty"`
 	CacheMisses       int64 `json:"cache_misses,omitempty"`
+
+	QueueDepth      int64 `json:"queue_depth,omitempty"`
+	Admitted        int64 `json:"admitted,omitempty"`
+	Rejected        int64 `json:"rejected,omitempty"`
+	Shed            int64 `json:"shed,omitempty"`
+	Hedged          int64 `json:"hedged,omitempty"`
+	Retried         int64 `json:"retried,omitempty"`
+	DeadlineExpired int64 `json:"deadline_expired,omitempty"`
+
+	// QueueWaitUS are the queue-wait histogram buckets (bucket i counts
+	// waits in [2^(i-1), 2^i) microseconds; bucket 0 is sub-microsecond),
+	// with the approximate p50/p95/p99 alongside for dashboards that do
+	// not want to fold buckets themselves.
+	QueueWaitUS  []int64 `json:"queue_wait_us,omitempty"`
+	QueueWaitP50 int64   `json:"queue_wait_p50_us,omitempty"`
+	QueueWaitP95 int64   `json:"queue_wait_p95_us,omitempty"`
+	QueueWaitP99 int64   `json:"queue_wait_p99_us,omitempty"`
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -202,6 +245,17 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		ShardImbalance:    c.ShardImbalance.Load(),
 		CacheHits:         c.CacheHits.Load(),
 		CacheMisses:       c.CacheMisses.Load(),
+		QueueDepth:        c.QueueDepth.Load(),
+		Admitted:          c.Admitted.Load(),
+		Rejected:          c.Rejected.Load(),
+		Shed:              c.Shed.Load(),
+		Hedged:            c.Hedged.Load(),
+		Retried:           c.Retried.Load(),
+		DeadlineExpired:   c.DeadlineExpired.Load(),
+		QueueWaitUS:       c.QueueWait.Snapshot(),
+		QueueWaitP50:      c.QueueWait.Quantile(0.50).Microseconds(),
+		QueueWaitP95:      c.QueueWait.Quantile(0.95).Microseconds(),
+		QueueWaitP99:      c.QueueWait.Quantile(0.99).Microseconds(),
 	}
 }
 

@@ -16,19 +16,39 @@
 // right parallelism decomposition for a stream of many small queries:
 // across queries, not within one.
 //
-// Robustness plumbing passes through: a pool context cancels in-flight
-// and queued queries (their tickets resolve with merr.ErrCanceled), and
-// drivers inherit the process-wide fault injector unless Options.Faults
-// overrides it. Every query failure travels on its own ticket; one bad
-// query cannot poison the pool.
+// # Load discipline
+//
+// The submission boundary is deadline- and overload-aware. SubmitCtx
+// attaches a caller context to the query: a submitter blocked on a full
+// queue unblocks the moment its context is done, and a query whose
+// context has expired by the time a worker picks it up is dropped
+// before evaluation, its ticket resolving with ErrDeadlineExceeded (or
+// merr.ErrCanceled for plain cancellation). TrySubmit never blocks at
+// all — a full queue is ErrOverloaded, the fail-fast primitive the
+// admission front (internal/admit) builds its bounded-queue policy on.
+// Close transitions the pool through an observable draining state
+// (Stats.State) before stopping the workers.
+//
+// # Robustness plumbing
+//
+// A pool context cancels in-flight and queued queries (their tickets
+// resolve with merr.ErrCanceled), and drivers inherit the process-wide
+// fault injector unless Options.Faults overrides it. The serving
+// boundary itself is chaos-testable: Options.Chaos (defaulting to the
+// same process-wide injector) injects deterministic queue stalls on the
+// submit path and slow-shard latency on the dispatch path, and the
+// admission front layers ticket drops on top. Every query failure
+// travels on its own ticket; one bad query cannot poison the pool.
 package serve
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"monge/internal/batch"
 	"monge/internal/faults"
@@ -44,6 +64,20 @@ var ErrClosed = errors.New("monge: driver pool is closed")
 // ErrUnknownKind reports a Query whose Kind is none of the defined
 // problems; the ticket resolves with it.
 var ErrUnknownKind = errors.New("monge: unknown query kind")
+
+// ErrOverloaded reports a submission rejected by load discipline: a
+// full queue on the fail-fast path, the admission front's inflight cap
+// or a tenant quota, or low-priority work shed under load. Rejections
+// are immediate — an overloaded pool never blocks the caller — and
+// carry no partial answer. Test with errors.Is.
+var ErrOverloaded = errors.New("monge: serving pool overloaded")
+
+// ErrDeadlineExceeded reports a query whose context deadline expired
+// before it produced an answer: at submission, while queued (the worker
+// drops it before evaluation), or mid-evaluation (the machine aborts at
+// its next superstep). Errors carrying it also match
+// context.DeadlineExceeded via errors.Is.
+var ErrDeadlineExceeded = errors.New("monge: query deadline exceeded")
 
 // Kind selects the problem a Query asks.
 type Kind int
@@ -68,8 +102,8 @@ type Query struct {
 
 // Result is one query's answer. Idx is set for the row problems; TubeJ
 // and TubeV for the tube problem. Err carries any typed condition the
-// simulation threw (merr.ErrCanceled, fault-path errors, ...); the
-// answer fields are nil when Err is non-nil.
+// simulation threw (merr.ErrCanceled, ErrDeadlineExceeded, fault-path
+// errors, ...); the answer fields are nil when Err is non-nil.
 type Result struct {
 	Idx   []int
 	TubeJ [][]int
@@ -80,6 +114,8 @@ type Result struct {
 // Ticket is the handle Submit returns: a future for one query's Result.
 type Ticket struct {
 	q    Query
+	ctx  context.Context // caller context from SubmitCtx; nil for background
+	enq  time.Time       // enqueue instant, recorded only when obs is on
 	done chan struct{}
 	res  Result
 }
@@ -109,6 +145,11 @@ func errTicket(err error) *Ticket {
 type Options struct {
 	// Workers is the shard count; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// QueueDepth is the submit-queue buffer — the number of queries that
+	// can wait beyond the ones being served — and therefore the bound
+	// TrySubmit's fail-fast admission enforces. <= 0 means one slot per
+	// worker, the pre-admission default.
+	QueueDepth int
 	// Context cancels the pool's queries: in-flight queries abort at
 	// their next superstep and resolve with merr.ErrCanceled.
 	Context context.Context
@@ -116,6 +157,14 @@ type Options struct {
 	// machines. Nil keeps the default passthrough: machines attach the
 	// process-wide faults.Global injector, exactly as facade calls do.
 	Faults *faults.Injector
+	// Chaos overrides the fault injector of the serving boundary itself:
+	// deterministic queue stalls before enqueue and slow-shard latency
+	// before service (and, in the admission front, ticket drops). Nil
+	// keeps the process-wide faults.Global passthrough, which is how the
+	// CI chaos job injects the whole suite via FAULT_RATE. Injected
+	// serving faults never change an answer — they only add latency the
+	// retry/hedging layer must absorb.
+	Chaos *faults.Injector
 	// CacheTiles sizes each worker's tile caches (tiles per cache,
 	// rounded up to a power of two; <= 0 means marray.DefaultTiles).
 	// Implicit (non-Dense) matrices are evaluated through these caches.
@@ -131,7 +180,56 @@ type Options struct {
 	// trades the simulator's charged-cost observability for raw speed,
 	// and its drivers see no injected machine faults.
 	Backend batch.Backend
+	// Admission, when non-nil, asks the public facade (monge.DriverPool)
+	// to wrap the pool in the load-discipline front of internal/admit —
+	// inflight caps, per-tenant quotas, priority shedding, retries and
+	// hedging. The Pool itself does not interpret it (admit builds on
+	// the Pool, not inside it); it lives here so one options struct
+	// configures the whole serving stack.
+	Admission *Admission
 }
+
+// Admission is the load-discipline policy of the admission front
+// (internal/admit). The zero value of every field selects a sane
+// default, so &Admission{} is a usable fail-fast configuration with no
+// quotas, no retries, and no hedging.
+type Admission struct {
+	// MaxInflight caps admitted-but-unresolved queries across all
+	// tenants; admissions beyond it are rejected with ErrOverloaded.
+	// <= 0 means 4 slots per pool worker.
+	MaxInflight int
+	// ShedFraction is the fraction of MaxInflight above which priority
+	// <= 0 work is shed (rejected with ErrOverloaded while capacity is
+	// reserved for higher-priority queries). Outside (0, 1] it defaults
+	// to 0.75.
+	ShedFraction float64
+	// TenantRate and TenantBurst configure the per-tenant token bucket:
+	// each tenant string earns TenantRate admissions per second up to a
+	// bucket of TenantBurst. TenantRate <= 0 disables quotas.
+	TenantRate  float64
+	TenantBurst int
+	// RetryMax is the maximum total attempts per Do call (first try
+	// included); <= 0 means 1, i.e. no policy retries. Retries are
+	// additionally budgeted: each completed request earns RetryBudget
+	// retry tokens (default 0.1) and each retry spends one, so a
+	// persistently failing workload cannot amplify itself more than
+	// RetryBudget-fold.
+	RetryMax     int
+	RetryBudget  float64
+	RetryBackoff time.Duration // base backoff between attempts; <= 0 means 1ms
+	// HedgeAfter, when positive, issues one hedged second attempt if the
+	// first has not resolved within this latency threshold; the first
+	// result wins. Queries are pure, so hedging is index-exact by
+	// construction.
+	HedgeAfter time.Duration
+}
+
+// Pool states reported by Stats.State.
+const (
+	StateServing  = "serving"
+	StateDraining = "draining"
+	StateClosed   = "closed"
+)
 
 // Pool is a goroutine-safe front end sharding queries across
 // worker-owned batch.Drivers. Create with New, submit from any number
@@ -140,12 +238,15 @@ type Pool struct {
 	mode    pram.Mode
 	opt     Options
 	workers int
+	chaos   *faults.Injector
 
 	queue    chan *Ticket
 	mu       sync.RWMutex // guards closed against concurrent Submit
 	closed   bool
+	state    atomic.Int32   // 0 serving, 1 draining, 2 closed
 	inflight sync.WaitGroup // submitted but unanswered queries
 	done     sync.WaitGroup // running workers
+	subSeq   atomic.Int64   // chaos unit ids for the submit path
 
 	// caches[w] holds worker w's two tile caches: one for row-problem
 	// matrices and tube factor D, one for tube factor E (separate so a
@@ -174,15 +275,23 @@ func New(mode pram.Mode, opt Options) *Pool {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	depth := opt.QueueDepth
+	if depth <= 0 {
+		// One buffered ticket per worker lets submitters run ahead of
+		// the shards without unbounding the queue.
+		depth = w
+	}
 	p := &Pool{
 		mode:    mode,
 		opt:     opt,
 		workers: w,
-		// A buffer of one ticket per worker lets submitters run ahead
-		// of the shards without unbounding the queue.
-		queue:  make(chan *Ticket, w),
-		caches: make([][2]*marray.TileCache, w),
-		served: make([]shardCount, w),
+		chaos:   opt.Chaos,
+		queue:   make(chan *Ticket, depth),
+		caches:  make([][2]*marray.TileCache, w),
+		served:  make([]shardCount, w),
+	}
+	if p.chaos == nil {
+		p.chaos = faults.Global()
 	}
 	for i := range p.caches {
 		p.caches[i] = [2]*marray.TileCache{
@@ -203,26 +312,110 @@ func New(mode pram.Mode, opt Options) *Pool {
 // Workers returns the shard count.
 func (p *Pool) Workers() int { return p.workers }
 
+// QueueDepth returns the submit-queue buffer size.
+func (p *Pool) QueueDepth() int { return cap(p.queue) }
+
+// Chaos returns the serving-boundary fault injector (nil when chaos is
+// off), for the admission front to share.
+func (p *Pool) Chaos() *faults.Injector { return p.chaos }
+
+// ContextError converts a done context into the serving layer's typed
+// error: ErrDeadlineExceeded (also matching context.DeadlineExceeded)
+// when the deadline passed, merr.ErrCanceled otherwise. It is the one
+// classification every layer of the serving stack (pool, admission
+// front, HTTP front end) shares, so a deadline reads the same whether
+// it expired at submission, in the queue, or mid-evaluation.
+func ContextError(ctx context.Context) error { return ctxError(ctx) }
+
+func ctxError(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) || errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, context.DeadlineExceeded)
+	}
+	return merr.Canceled(ctx.Err())
+}
+
 // Submit enqueues q and returns its ticket, or ErrClosed after Close.
 // Submit blocks only while every worker is busy and the queue buffer is
-// full — the natural backpressure of a saturated pool.
+// full — the natural backpressure of a saturated pool. Callers that
+// must not block past a deadline use SubmitCtx; callers that must not
+// block at all use TrySubmit.
 func (p *Pool) Submit(q Query) (*Ticket, error) {
+	return p.submit(context.Background(), q, true)
+}
+
+// SubmitCtx is Submit bounded by the caller's context: a submitter
+// blocked on a full queue unblocks with ErrDeadlineExceeded or
+// merr.ErrCanceled the moment ctx is done, and the context travels with
+// the query — workers drop it before evaluation if it expires while
+// queued, and abort it at the next superstep if it expires mid-run.
+// An already-done ctx fails fast without enqueueing anything.
+func (p *Pool) SubmitCtx(ctx context.Context, q Query) (*Ticket, error) {
+	return p.submit(ctx, q, true)
+}
+
+// TrySubmit is SubmitCtx that never blocks: a full queue returns
+// ErrOverloaded immediately. It is the admission primitive of the
+// load-discipline front — rejection is instantaneous and typed, so an
+// overloaded pool degrades into fast failures instead of a convoy of
+// blocked submitters.
+func (p *Pool) TrySubmit(ctx context.Context, q Query) (*Ticket, error) {
+	return p.submit(ctx, q, false)
+}
+
+func (p *Pool) submit(ctx context.Context, q Query, wait bool) (*Ticket, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxError(ctx)
+	}
 	t := &Ticket{q: q, done: make(chan struct{})}
-	// The read lock is held across the enqueue so Close cannot observe
-	// closed==true while a submit that passed the check is still trying
-	// to send: Close's write lock waits for us, and workers drain the
-	// queue without ever taking p.mu, so the send always completes.
+	if ctx != context.Background() {
+		t.ctx = ctx
+	}
+	// The read lock covers only the closed check and the inflight
+	// registration — never the enqueue — so Close's write lock is never
+	// delayed by a submitter stuck on a full queue. The send below still
+	// always has a live receiver: Close cannot close the queue until
+	// inflight drains, and our registration is part of inflight, so the
+	// workers keep draining until this query (once enqueued) is
+	// answered.
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
 		return nil, ErrClosed
 	}
 	p.inflight.Add(1)
-	if p.obsC != nil {
-		obs.StoreMax(&p.obsC.QueueDepthPeak, int64(len(p.queue)+1))
-	}
-	p.queue <- t
 	p.mu.RUnlock()
+
+	if p.chaos != nil {
+		if d := p.chaos.QueueStall(p.subSeq.Add(1)); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if p.obsC != nil {
+		t.enq = time.Now()
+	}
+	if wait {
+		select {
+		case p.queue <- t:
+		case <-ctx.Done():
+			p.inflight.Done()
+			return nil, ctxError(ctx)
+		}
+	} else {
+		select {
+		case p.queue <- t:
+		default:
+			p.inflight.Done()
+			return nil, fmt.Errorf("%w: queue full (%d waiting)", ErrOverloaded, cap(p.queue))
+		}
+	}
+	if p.obsC != nil {
+		// Depth is sampled at enqueue, after the send: the previous
+		// pre-send sample systematically under-reported the peak under
+		// contention (every concurrent submitter read the same length).
+		depth := int64(len(p.queue))
+		obs.StoreMax(&p.obsC.QueueDepthPeak, depth)
+		p.obsC.QueueDepth.Store(depth)
+	}
 	return t, nil
 }
 
@@ -258,30 +451,37 @@ func (p *Pool) Wait() { p.inflight.Wait() }
 
 // Close drains the pool and stops its workers: pending queries still
 // resolve, Submits during and after Close return ErrClosed, and every
-// worker goroutine has exited when Close returns. Close is idempotent
-// and safe to call concurrently; late callers block until shutdown is
-// complete.
+// worker goroutine has exited when Close returns. While the drain runs
+// the pool reports StateDraining through Stats, then StateClosed. Close
+// is idempotent and safe to call concurrently; late callers block until
+// shutdown is complete.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	already := p.closed
 	p.closed = true
 	p.mu.Unlock()
 	if !already {
+		p.state.Store(1)
 		p.inflight.Wait()
 		close(p.queue)
 	}
 	p.done.Wait()
-	if !already && p.obsC != nil {
-		st := p.Stats()
-		p.obsC.ShardImbalance.Store(st.Imbalance)
-		p.obsC.CacheHits.Store(st.CacheHits)
-		p.obsC.CacheMisses.Store(st.CacheMisses)
+	if !already {
+		p.state.Store(2)
+		if p.obsC != nil {
+			st := p.Stats()
+			p.obsC.ShardImbalance.Store(st.Imbalance)
+			p.obsC.CacheHits.Store(st.CacheHits)
+			p.obsC.CacheMisses.Store(st.CacheMisses)
+		}
 	}
 }
 
 // Stats is a point-in-time view of the pool's serving counters.
 type Stats struct {
 	Workers                int
+	State                  string  // StateServing, StateDraining, or StateClosed
+	QueueDepth             int     // queries currently waiting in the submit queue
 	Queries                int64   // total queries answered
 	PerWorker              []int64 // queries answered by each shard
 	Imbalance              int64   // max minus min of PerWorker
@@ -292,6 +492,17 @@ type Stats struct {
 // including while queries are in flight (counts may be mid-update).
 func (p *Pool) Stats() Stats {
 	st := Stats{Workers: p.workers, PerWorker: make([]int64, p.workers)}
+	switch p.state.Load() {
+	case 0:
+		st.State = StateServing
+	case 1:
+		st.State = StateDraining
+	default:
+		st.State = StateClosed
+	}
+	if st.State != StateClosed {
+		st.QueueDepth = len(p.queue)
+	}
 	min, max := int64(-1), int64(0)
 	for i := range p.served {
 		n := p.served[i].load()
@@ -316,6 +527,17 @@ func (p *Pool) Stats() Stats {
 	return st
 }
 
+// mergeCtx derives the context one query runs under when it carries its
+// own caller context on top of a pool context: done when either is
+// done, with the query context's cause preserved so deadline expiry
+// classifies correctly. The release function must be called after the
+// query resolves.
+func mergeCtx(pool, query context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(pool)
+	stop := context.AfterFunc(query, func() { cancel(context.Cause(query)) })
+	return ctx, func() { stop(); cancel(nil) }
+}
+
 // worker is one shard: a private driver drained from the shared queue.
 func (p *Pool) worker(id int) {
 	defer p.done.Done()
@@ -333,7 +555,18 @@ func (p *Pool) worker(id int) {
 	}
 	defer d.Close()
 	for t := range p.queue {
-		t.res = p.answer(d, id, t.q)
+		if p.obsC != nil {
+			p.obsC.QueueDepth.Store(int64(len(p.queue)))
+			if !t.enq.IsZero() {
+				p.obsC.QueueWait.Observe(time.Since(t.enq))
+			}
+		}
+		if p.chaos != nil {
+			if slow := p.chaos.SlowShard(id, p.served[id].load()); slow > 0 {
+				time.Sleep(slow)
+			}
+		}
+		t.res = p.resolve(d, id, t)
 		p.served[id].add(1)
 		if p.obsC != nil {
 			p.obsC.QueriesServed.Add(1)
@@ -341,6 +574,35 @@ func (p *Pool) worker(id int) {
 		close(t.done)
 		p.inflight.Done()
 	}
+}
+
+// resolve answers one dequeued ticket, enforcing its deadline around
+// the evaluation: an already-expired query is dropped before any work,
+// and a query aborted mid-run by its own context resolves with the
+// deadline/cancel classification instead of the machine's raw
+// cancellation error.
+func (p *Pool) resolve(d *batch.Driver, id int, t *Ticket) Result {
+	if t.ctx == nil {
+		return p.answer(d, id, t.q)
+	}
+	if t.ctx.Err() != nil {
+		if p.obsC != nil {
+			p.obsC.DeadlineExpired.Add(1)
+		}
+		return Result{Err: ctxError(t.ctx)}
+	}
+	runCtx, release := t.ctx, func() {}
+	if p.opt.Context != nil {
+		runCtx, release = mergeCtx(p.opt.Context, t.ctx)
+	}
+	d.SetContext(runCtx)
+	res := p.answer(d, id, t.q)
+	release()
+	d.SetContext(p.opt.Context)
+	if res.Err != nil && t.ctx.Err() != nil && errors.Is(res.Err, merr.ErrCanceled) {
+		res.Err = ctxError(t.ctx)
+	}
+	return res
 }
 
 // answer runs one query on the shard's driver, converting any thrown

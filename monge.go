@@ -52,6 +52,7 @@ package monge
 import (
 	"context"
 
+	"monge/internal/admit"
 	"monge/internal/batch"
 	"monge/internal/core"
 	"monge/internal/hcmonge"
@@ -487,6 +488,15 @@ func (b *BatchDriver) RowMinimaStats(a Matrix) (idx []int, st QueryStats, err er
 // ErrPoolClosed reports a DriverPool submission after Close.
 var ErrPoolClosed = serve.ErrClosed
 
+// ErrOverloaded reports a submission rejected by load discipline: full
+// queue, inflight cap, shed low-priority work, or an exhausted tenant
+// quota. Match with errors.Is; the message names the specific gate.
+var ErrOverloaded = serve.ErrOverloaded
+
+// ErrDeadlineExceeded reports a query whose deadline passed before (or
+// while) it was evaluated. It also matches context.DeadlineExceeded.
+var ErrDeadlineExceeded = serve.ErrDeadlineExceeded
+
 // PoolResult is one served query's answer; see DriverPool.
 type PoolResult = serve.Result
 
@@ -498,8 +508,20 @@ type PoolStats = serve.Stats
 
 // PoolOptions configures a DriverPool; the zero value means GOMAXPROCS
 // workers, background context, inherited fault injector, default-sized
-// tile caches.
+// tile caches, fail-fast default admission. Set Admission to shape the
+// load-discipline policy (inflight cap, shedding, tenant quotas,
+// retries, hedging); see README "Load discipline".
 type PoolOptions = serve.Options
+
+// PoolAdmission is the load-discipline policy block of PoolOptions.
+type PoolAdmission = serve.Admission
+
+// PoolRequest is one admitted request: the query's input plus admission
+// metadata (tenant for quotas, priority for shedding order).
+type PoolRequest = admit.Request
+
+// FrontStats snapshots a pool front's admission counters.
+type FrontStats = admit.Stats
 
 // DriverPool is the goroutine-safe counterpart of BatchDriver: it
 // shards a stream of row-minima / staircase / tube queries across
@@ -513,7 +535,10 @@ type PoolOptions = serve.Options
 // queries arrive concurrently or you want to spend multiple cores on a
 // stream of many small queries. See README "Serving queries
 // concurrently" for the decision table.
-type DriverPool struct{ p *serve.Pool }
+type DriverPool struct {
+	p *serve.Pool
+	f *admit.Front
+}
 
 // NewDriverPool returns a running pool with the given PRAM mode and
 // worker count (workers <= 0 means GOMAXPROCS).
@@ -528,9 +553,13 @@ func NewDriverPoolContext(ctx context.Context, mode Mode, workers int) *DriverPo
 	return NewDriverPoolOpts(mode, PoolOptions{Workers: workers, Context: ctx})
 }
 
-// NewDriverPoolOpts is the fully configurable constructor.
+// NewDriverPoolOpts is the fully configurable constructor. The pool
+// always carries an admission front (Do, Front); with opt.Admission nil
+// the front applies the zero policy — fail-fast rejection at the
+// default inflight cap, no quotas, no retries, no hedging.
 func NewDriverPoolOpts(mode Mode, opt PoolOptions) *DriverPool {
-	return &DriverPool{p: serve.New(mode, opt)}
+	p := serve.New(mode, opt)
+	return &DriverPool{p: p, f: admit.New(p, opt.Admission)}
 }
 
 // RowMinima submits a row-minima query, returning its ticket. The
@@ -543,6 +572,18 @@ func (dp *DriverPool) RowMinima(a Matrix) (*PoolTicket, error) {
 	return dp.p.Submit(serve.Query{Kind: serve.RowMinima, A: a})
 }
 
+// RowMinimaCtx is RowMinima with a per-query context: if ctx is done
+// before the query is evaluated the ticket resolves with
+// ErrDeadlineExceeded (deadline) or ErrCanceled (cancellation) instead
+// of being computed, and a deadline firing mid-evaluation aborts the
+// simulation at its next superstep.
+func (dp *DriverPool) RowMinimaCtx(ctx context.Context, a Matrix) (*PoolTicket, error) {
+	if err := marray.CheckMongeSampled(a); err != nil {
+		return nil, err
+	}
+	return dp.p.SubmitCtx(ctx, serve.Query{Kind: serve.RowMinima, A: a})
+}
+
 // StaircaseRowMinima submits a staircase row-minima query (sampled
 // staircase-Monge screen on the calling goroutine).
 func (dp *DriverPool) StaircaseRowMinima(a Matrix) (*PoolTicket, error) {
@@ -550,6 +591,15 @@ func (dp *DriverPool) StaircaseRowMinima(a Matrix) (*PoolTicket, error) {
 		return nil, err
 	}
 	return dp.p.Submit(serve.Query{Kind: serve.StaircaseRowMinima, A: a})
+}
+
+// StaircaseRowMinimaCtx is StaircaseRowMinima with a per-query context;
+// see RowMinimaCtx for the deadline semantics.
+func (dp *DriverPool) StaircaseRowMinimaCtx(ctx context.Context, a Matrix) (*PoolTicket, error) {
+	if err := marray.CheckStaircaseMongeSampled(a); err != nil {
+		return nil, err
+	}
+	return dp.p.SubmitCtx(ctx, serve.Query{Kind: serve.StaircaseRowMinima, A: a})
 }
 
 // TubeMaxima submits a tube-maxima query (sampled Monge screens on both
@@ -563,6 +613,70 @@ func (dp *DriverPool) TubeMaxima(c Composite) (*PoolTicket, error) {
 	}
 	return dp.p.Submit(serve.Query{Kind: serve.TubeMaxima, C: c})
 }
+
+// TubeMaximaCtx is TubeMaxima with a per-query context; see
+// RowMinimaCtx for the deadline semantics.
+func (dp *DriverPool) TubeMaximaCtx(ctx context.Context, c Composite) (*PoolTicket, error) {
+	if err := marray.CheckMongeSampled(c.D); err != nil {
+		return nil, err
+	}
+	if err := marray.CheckMongeSampled(c.E); err != nil {
+		return nil, err
+	}
+	return dp.p.SubmitCtx(ctx, serve.Query{Kind: serve.TubeMaxima, C: c})
+}
+
+// Do runs one request through the pool's full load-discipline
+// lifecycle: admission gates (inflight cap, shedding, tenant quota),
+// the deadline carried by ctx, budgeted retries, and hedging when
+// configured. The result either carries an index-exact answer or a
+// typed error (ErrOverloaded, ErrDeadlineExceeded, ErrCanceled,
+// ErrPoolClosed, or a structural error). The input is screened with the
+// sampled validator before admission, like the Submit-style methods.
+func (dp *DriverPool) Do(ctx context.Context, req PoolRequest) PoolResult {
+	switch req.Query.Kind {
+	case serve.RowMinima:
+		if err := marray.CheckMongeSampled(req.Query.A); err != nil {
+			return PoolResult{Err: err}
+		}
+	case serve.StaircaseRowMinima:
+		if err := marray.CheckStaircaseMongeSampled(req.Query.A); err != nil {
+			return PoolResult{Err: err}
+		}
+	case serve.TubeMaxima:
+		if err := marray.CheckMongeSampled(req.Query.C.D); err != nil {
+			return PoolResult{Err: err}
+		}
+		if err := marray.CheckMongeSampled(req.Query.C.E); err != nil {
+			return PoolResult{Err: err}
+		}
+	}
+	return dp.f.Do(ctx, req)
+}
+
+// RowMinimaRequest builds the PoolRequest for a row-minima Do call.
+func RowMinimaRequest(a Matrix) PoolRequest {
+	return PoolRequest{Query: serve.Query{Kind: serve.RowMinima, A: a}}
+}
+
+// StaircaseRowMinimaRequest builds the PoolRequest for a staircase
+// row-minima Do call.
+func StaircaseRowMinimaRequest(a Matrix) PoolRequest {
+	return PoolRequest{Query: serve.Query{Kind: serve.StaircaseRowMinima, A: a}}
+}
+
+// TubeMaximaRequest builds the PoolRequest for a tube-maxima Do call.
+func TubeMaximaRequest(c Composite) PoolRequest {
+	return PoolRequest{Query: serve.Query{Kind: serve.TubeMaxima, C: c}}
+}
+
+// Front exposes the pool's admission front for callers that want the
+// lower-level Admit/Do/Stats API directly.
+func (dp *DriverPool) Front() *admit.Front { return dp.f }
+
+// FrontStats snapshots the admission counters (admitted, rejected,
+// shed, hedged, retried, deadline-expired, inflight).
+func (dp *DriverPool) FrontStats() FrontStats { return dp.f.Stats() }
 
 // RowMinimaStream submits one row-minima query per matrix and returns a
 // channel yielding results in submission order, closed after the last.
@@ -606,8 +720,13 @@ func (dp *DriverPool) Stats() PoolStats { return dp.p.Stats() }
 
 // Close drains pending queries, stops the worker goroutines, and
 // releases their machines. Idempotent and safe to call concurrently;
-// submissions after Close return ErrPoolClosed.
-func (dp *DriverPool) Close() { dp.p.Close() }
+// submissions after Close return ErrPoolClosed. While draining,
+// Stats().State reports "draining"; once Close returns it reports
+// "closed" and the admission front's watcher goroutines have exited.
+func (dp *DriverPool) Close() {
+	dp.p.Close()
+	dp.f.Drain()
+}
 
 // --- Hypercube and constant-degree networks -------------------------------
 
