@@ -27,6 +27,10 @@ func FuzzBatchMatchesSingle(f *testing.F) {
 	// Adversarial tie shapes at the block and reduce-stack boundaries.
 	f.Add(int64(6), 63, 64, 2)
 	f.Add(int64(7), 64, 63, 2)
+	// Huge-aspect-ratio shapes: single-row and single-column queries mixed
+	// into multi-query batches, where per-query machine sizing degenerates.
+	f.Add(int64(8), 64, 1, 2)
+	f.Add(int64(9), 1, 64, 2)
 	f.Fuzz(func(t *testing.T, seed int64, rawM, rawN, rawK int) {
 		clamp := func(x, mod int) int {
 			if x < 0 {
@@ -42,6 +46,9 @@ func FuzzBatchMatchesSingle(f *testing.F) {
 			as = append(as, marray.RandomMongeInt(rng, m, n, 3))
 			// A second shape in the same batch exercises machine switching.
 			as = append(as, marray.RandomMongeInt(rng, n, m, 3))
+			// Near-degenerate ties: 1e-9 perturbations punish any
+			// epsilon-based comparison shortcut with an index mismatch.
+			as = append(as, marray.RandomNearTieMonge(rng, m, n))
 		}
 		d := NewBatchDriver(CRCW)
 		defer d.Close()

@@ -1,0 +1,167 @@
+package main
+
+// The -index mode records the preprocessing-vs-query-latency tradeoff
+// of the submatrix-maximum index (internal/mindex): for each ladder
+// size it builds the index once, fires a batch of random submatrix
+// queries, and compares their per-query latency against the cost of an
+// uncached single SMAWK row-minima call on the same matrix — the price
+// a caller would pay per query without the index. The ladder is written
+// as BENCH_index.json (schema monge-index/v1) and gated by the root
+// TestIndexBaseline.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"monge/internal/marray"
+	"monge/internal/merr"
+	"monge/internal/mindex"
+	"monge/internal/smawk"
+)
+
+// indexSchema is the version tag of the -index-out JSON.
+const indexSchema = "monge-index/v1"
+
+var (
+	indexOn  bool
+	indexOut string
+)
+
+// indexPoint is one ladder size: build cost, index footprint, and the
+// per-query latency distribution against the uncached SMAWK baseline.
+type indexPoint struct {
+	N           int   `json:"n"`
+	BuildNS     int64 `json:"build_ns"`
+	IndexBytes  int64 `json:"index_bytes"`
+	Breakpoints int   `json:"breakpoints"`
+	Queries     int   `json:"queries"`
+	QueryP50NS  int64 `json:"query_p50_ns"`
+	QueryP95NS  int64 `json:"query_p95_ns"`
+	// SmawkRowMinimaNS is the median of several uncached
+	// smawk.RowMinima calls on the same matrix: the no-index cost of
+	// one fresh query.
+	SmawkRowMinimaNS int64   `json:"smawk_row_minima_ns"`
+	SpeedupP95       float64 `json:"speedup_p95"`
+}
+
+// indexLadder is the committed BENCH_index.json document.
+type indexLadder struct {
+	Schema  string `json:"schema"`
+	CPUs    int    `json:"cpus"`
+	Seed    int64  `json:"seed"`
+	Queries int    `json:"queries_per_point"`
+	// MinSpeedupP95 is the acceptance gate TestIndexBaseline enforces on
+	// the largest ladder size: the indexed p95 must beat the uncached
+	// SMAWK call by at least this factor.
+	MinSpeedupP95 float64      `json:"min_speedup_p95"`
+	Points        []indexPoint `json:"points"`
+}
+
+// indexExp runs the fixed ladder n ∈ {256, 1024, 4096}; the answers of
+// the timed queries are spot-checked against the SMAWK maxima reduction
+// so the recorded latencies can only come from correct answers.
+func indexExp() {
+	rng := rand.New(rand.NewSource(seed))
+	queries := queriesN
+	if queries < 64 {
+		queries = 64
+	}
+	ladder := indexLadder{
+		Schema:        indexSchema,
+		CPUs:          runtime.NumCPU(),
+		Seed:          seed,
+		Queries:       queries,
+		MinSpeedupP95: 10,
+	}
+
+	printf("\n== Submatrix-maximum index: preprocessing vs per-query latency, %d queries per size ==\n", queries)
+	printf("%6s %12s %12s %12s %10s %12s %10s\n",
+		"n", "build", "bytes", "p50/query", "p95/query", "smawk/query", "speedup")
+
+	for _, n := range []int{256, 1024, 4096} {
+		a := marray.RandomMongeInt(rng, n, n, 8)
+
+		t0 := time.Now()
+		ix := mindex.Build(a, mindex.Opts{})
+		buildNS := time.Since(t0).Nanoseconds()
+
+		// Spot-check: the full-matrix query must agree with the SMAWK
+		// Monge row-maxima reduction before any latency is recorded.
+		full := ix.SubmatrixMax(0, n-1, 0, n-1)
+		maxIdx := smawk.MongeRowMaxima(a)
+		bestR := 0
+		for r := 1; r < n; r++ {
+			if a.At(r, maxIdx[r]) > a.At(bestR, maxIdx[bestR]) {
+				bestR = r
+			}
+		}
+		if want := a.At(bestR, maxIdx[bestR]); full.Val != want {
+			merr.Throwf(merr.ErrNotMonge, "indexbench: n=%d full-matrix max %g, SMAWK says %g", n, full.Val, want)
+		}
+
+		lats := make([]int64, queries)
+		for q := 0; q < queries; q++ {
+			r1, c1 := rng.Intn(n), rng.Intn(n)
+			r2, c2 := r1+rng.Intn(n-r1), c1+rng.Intn(n-c1)
+			t0 := time.Now()
+			pos := ix.SubmatrixMax(r1, r2, c1, c2)
+			lats[q] = time.Since(t0).Nanoseconds()
+			if pos.Row < r1 || pos.Row > r2 || pos.Col < c1 || pos.Col > c2 {
+				merr.Throwf(merr.ErrNotMonge, "indexbench: n=%d answer (%d,%d) outside [%d:%d,%d:%d]",
+					n, pos.Row, pos.Col, r1, r2, c1, c2)
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+		// The no-index baseline: a fresh, uncached SMAWK row-minima pass
+		// per query. Median of 5 runs.
+		var smawkNS []int64
+		for rep := 0; rep < 5; rep++ {
+			t0 := time.Now()
+			smawk.RowMinima(a)
+			smawkNS = append(smawkNS, time.Since(t0).Nanoseconds())
+		}
+		sort.Slice(smawkNS, func(i, j int) bool { return smawkNS[i] < smawkNS[j] })
+
+		pt := indexPoint{
+			N:                n,
+			BuildNS:          buildNS,
+			IndexBytes:       ix.Bytes(),
+			Breakpoints:      ix.Breakpoints(),
+			Queries:          queries,
+			QueryP50NS:       lats[queries/2],
+			QueryP95NS:       lats[queries*95/100],
+			SmawkRowMinimaNS: smawkNS[2],
+		}
+		pt.SpeedupP95 = float64(pt.SmawkRowMinimaNS) / float64(pt.QueryP95NS)
+		ladder.Points = append(ladder.Points, pt)
+		printf("%6d %12v %12d %12v %10v %12v %9.0fx\n",
+			n, time.Duration(pt.BuildNS), pt.IndexBytes,
+			time.Duration(pt.QueryP50NS), time.Duration(pt.QueryP95NS),
+			time.Duration(pt.SmawkRowMinimaNS), pt.SpeedupP95)
+	}
+
+	if indexOut != "" {
+		if err := writeIndexLadder(&ladder, indexOut); err != nil {
+			merr.Throwf(merr.ErrNotMonge, "indexbench: writing -index-out: %v", err)
+		}
+	}
+}
+
+// writeIndexLadder dumps the ladder as indented JSON ("-" = stdout).
+func writeIndexLadder(l *indexLadder, path string) error {
+	buf, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = out.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

@@ -162,6 +162,8 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 	fs.IntVar(&workersN, "workers", 0, "driver-pool worker count for -serve (0 = GOMAXPROCS)")
 	fs.Float64Var(&qpsLimit, "qps", 0, "throttle -serve submissions to this many queries per second (0 = unthrottled)")
 	fs.IntVar(&queriesN, "queries", 256, "total queries submitted by -serve")
+	fs.BoolVar(&indexOn, "index", false, "run the submatrix-maximum index ladder (build cost, index bytes, p50/p95 per-query latency vs an uncached SMAWK call at n in {256, 1024, 4096}) instead of the -exp experiments")
+	fs.StringVar(&indexOut, "index-out", "", "with -index: write the ladder as JSON (schema monge-index/v1) to this file (\"-\" for stdout)")
 	fs.StringVar(&traceFlag, "trace", "", "write aggregated per-step runtime counters as JSON to this file (\"-\" for stdout)")
 	fs.DurationVar(&timeout, "timeout", 0, "cancel the run after this duration (0 = no deadline)")
 	fs.Float64Var(&faultRate, "faults", 0, "per-unit fault injection rate in (0, 0.9]; 0 disables injection")
@@ -195,6 +197,10 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	if latOut != "" && !openLoop {
 		fmt.Fprintln(stderr, "mongebench: -latency-out requires -openloop (it records the open-loop latency ladder)")
+		return 2
+	}
+	if indexOut != "" && !indexOn {
+		fmt.Fprintln(stderr, "mongebench: -index-out requires -index (it records the index ladder)")
 		return 2
 	}
 
@@ -261,7 +267,13 @@ func mainImpl(args []string, stdout, stderr io.Writer) (code int) {
 			failed = true
 		}
 	}
-	if openLoop {
+	if indexOn {
+		matched = true
+		if err := runExperiment(indexExp); err != nil {
+			fmt.Fprintf(errw, "\nindex experiment aborted: %v\n", err)
+			failed = true
+		}
+	} else if openLoop {
 		matched = true
 		if err := runExperiment(openLoopExp); err != nil {
 			fmt.Fprintf(errw, "\nopen-loop experiment aborted: %v\n", err)

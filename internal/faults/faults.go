@@ -63,6 +63,10 @@ const (
 	siteQStall uint64 = 0x515354414c4c << 8 // "QSTALL"
 	siteTDrop  uint64 = 0x5444524f50 << 8   // "TDROP"
 	siteSlow   uint64 = 0x534c4f57 << 8     // "SLOW"
+
+	// Preprocessing fault site (internal/mindex): build units that
+	// transiently fail and are recomputed.
+	siteBuild uint64 = 0x4255494c44 << 8 // "BUILD"
 )
 
 // Stats counts the faults an injector has delivered and the recoveries
@@ -90,6 +94,9 @@ type Stats struct {
 	// SlowShards is the number of queries served with injected extra
 	// shard latency.
 	SlowShards int64
+	// BuildFaults is the number of index-preprocessing units that
+	// transiently failed and were recomputed.
+	BuildFaults int64
 }
 
 // Injector decides and counts injected faults. A nil *Injector is valid
@@ -143,6 +150,7 @@ func (in *Injector) Stats() Stats {
 		QueueStalls: atomic.LoadInt64(&in.stats.QueueStalls),
 		TicketDrops: atomic.LoadInt64(&in.stats.TicketDrops),
 		SlowShards:  atomic.LoadInt64(&in.stats.SlowShards),
+		BuildFaults: atomic.LoadInt64(&in.stats.BuildFaults),
 	}
 }
 
@@ -299,6 +307,20 @@ func (in *Injector) SlowShard(shard int, seq int64) time.Duration {
 	}
 	atomic.AddInt64(&in.stats.SlowShards, 1)
 	return SlowShardLatency
+}
+
+// BuildFault reports whether the given attempt at index-preprocessing
+// unit `unit` transiently fails (the builder recovers by recomputing
+// the unit — build units are pure, so the recomputed state is
+// identical). Decisions for successive attempts are independent hashes
+// and attempts at MaxAttempts or beyond never fail, so every build
+// terminates.
+func (in *Injector) BuildFault(unit int64, attempt int) bool {
+	if !in.Enabled() || attempt >= MaxAttempts || !in.fires(siteBuild, 0, uint64(unit), uint64(attempt)) {
+		return false
+	}
+	atomic.AddInt64(&in.stats.BuildFaults, 1)
+	return true
 }
 
 var (

@@ -200,6 +200,45 @@ func ChainDistanceMatrix(p, q []Point) Matrix {
 	}}
 }
 
+// RandomNearTieMonge returns a Monge array whose entries collide at two
+// scales: a spread-1 integer Monge base (exact ties everywhere) plus a
+// second integer Monge term scaled down to 1e-9, which splits most exact
+// ties by amounts that vanish under naive float tolerance. Exact
+// comparisons (and exact leftmost tie-breaking on the surviving ties)
+// are the only way through such inputs — any epsilon-based shortcut in
+// a kernel shows up as an index mismatch. The sum of two Monge arrays
+// is Monge, so the construction is valid by design.
+func RandomNearTieMonge(rng *rand.Rand, m, n int) *Dense {
+	base := RandomMongeInt(rng, m, n, 1)
+	tiny := RandomMongeInt(rng, m, n, 2)
+	d := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			d.Set(i, j, base.At(i, j)+1e-9*tiny.At(i, j))
+		}
+	}
+	return d
+}
+
+// RandomInfHeavyStaircase returns a staircase-Monge array dominated by
+// its blocked region: the boundary starts at roughly n/2 at row 0 and
+// falls by one per row, so most entries are +Inf and the lower rows are
+// fully blocked (-1 answers dominate row minima). The finite core is a
+// tie-dense integer Monge array; imposing a nonincreasing boundary on a
+// Monge array yields a staircase-Monge array. The result carries the
+// Staircase interface; use Materialize for the dense +Inf form.
+func RandomInfHeavyStaircase(rng *rand.Rand, m, n int) Staircase {
+	d := RandomMongeInt(rng, m, n, 2)
+	b0 := rng.Intn(n/2 + 1)
+	return StairFunc{M: m, N: n, F: d.At, Bound: func(i int) int {
+		b := b0 - i
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}}
+}
+
 func minInt(a, b int) int {
 	if a < b {
 		return a

@@ -1,0 +1,146 @@
+package mindex_test
+
+// FuzzSubmatrixMaxMatchesBrute is the differential fuzz layer of the
+// submatrix-maximum index: every fuzzed instance is checked three ways,
+// all index-exact —
+//
+//   1. SubmatrixMax against the O(area) brute oracle (value, row, and
+//      column, under the lexicographic tie contract);
+//   2. the submatrix maximum re-derived through uncached SMAWK row
+//      minima on BOTH execution backends (a simulated-PRAM batch driver
+//      and a native-goroutine batch driver), via the
+//      negate/reverse-columns adapter that turns window row maxima into
+//      Monge row minima;
+//   3. RangeRowMinima against the same two backends' full row-minima
+//      answers (the staircase solvers for staircase inputs, -1 on fully
+//      blocked rows included).
+//
+// This file is an external test package so it can import internal/batch
+// (which depends on internal/native); the corpus under testdata/fuzz
+// replays as plain tests. Run locally with
+//
+//	go test ./internal/mindex -run='^$' -fuzz=FuzzSubmatrixMaxMatchesBrute -fuzztime=30s
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"monge/internal/batch"
+	"monge/internal/marray"
+	"monge/internal/mindex"
+	"monge/internal/pram"
+)
+
+// The cross-backend oracles: one driver per execution engine, reused
+// across fuzz iterations exactly like a serving shard would reuse its
+// driver. The fuzz body runs sequentially, matching the drivers'
+// single-goroutine contract.
+var (
+	pramDrv   = batch.New(pram.CRCW)
+	nativeDrv = batch.NewWithBackend(pram.CRCW, batch.BackendNative)
+)
+
+// fuzzDim maps an arbitrary fuzzed int to a dimension in [1, 96].
+func fuzzDim(x int) int {
+	if x < 0 {
+		x = -x
+	}
+	return x%96 + 1
+}
+
+// fuzzRange maps two fuzzed ints to an inclusive index range in [0, size).
+func fuzzRange(lo, hi, size int) (int, int) {
+	if lo < 0 {
+		lo = -lo
+	}
+	if hi < 0 {
+		hi = -hi
+	}
+	a := lo % size
+	return a, a + hi%(size-a)
+}
+
+// windowMaxViaDriver computes the submatrix maximum of the window
+// through a batch driver's uncached SMAWK row minima: negating and
+// column-reversing the Monge window makes its row maxima the driver's
+// row minima. The returned position carries the smallest maximizing
+// row; the column is the driver's (rightmost-max) pick, so callers
+// compare value and row.
+func windowMaxViaDriver(d *batch.Driver, a marray.Matrix, r1, r2, c1, c2 int) (float64, int) {
+	w := marray.Window(a, r1, c1, r2-r1+1, c2-c1+1)
+	idx := d.RowMinima(marray.ReverseCols(marray.Negate(w)))
+	bestV, bestR := math.Inf(-1), -1
+	wn := w.Cols()
+	for i, j := range idx {
+		if v := w.At(i, wn-1-j); v > bestV {
+			bestV, bestR = v, r1+i
+		}
+	}
+	return bestV, bestR
+}
+
+func FuzzSubmatrixMaxMatchesBrute(f *testing.F) {
+	f.Add(int64(1), 8, 8, 0, 7, 0, 7)
+	f.Add(int64(2), 1, 77, 0, 0, 3, 50)
+	f.Add(int64(3), 77, 1, 5, 60, 0, 0)
+	f.Add(int64(4), 63, 64, 7, 40, 9, 33)
+	f.Add(int64(5), 64, 63, 0, 62, 62, 0)
+	f.Add(int64(6), 96, 96, 17, 2, 95, 1)
+	f.Add(int64(7), 96, 2, 90, 5, 1, 1)  // huge aspect ratio, tall
+	f.Add(int64(8), 2, 96, 1, 0, 80, 15) // huge aspect ratio, wide
+	f.Fuzz(func(t *testing.T, seed int64, rawM, rawN, rawR1, rawR2, rawC1, rawC2 int) {
+		m, n := fuzzDim(rawM), fuzzDim(rawN)
+		r1, r2 := fuzzRange(rawR1, rawR2, m)
+		c1, c2 := fuzzRange(rawC1, rawC2, n)
+		rng := rand.New(rand.NewSource(seed))
+		heavy := infHeavyStair(rng, m, n)
+		cases := []struct {
+			name   string
+			a      marray.Matrix
+			finite bool // eligible for the Monge row-minima backend adapters
+		}{
+			{"real", marray.RandomMonge(rng, m, n), true},
+			{"int-ties", marray.RandomMongeInt(rng, m, n, 2), true},
+			{"all-ties", marray.Func{M: m, N: n, F: func(i, j int) float64 { return 5 }}, true},
+			{"inf-heavy-staircase", heavy, false},
+		}
+		for _, tc := range cases {
+			ix := mindex.Build(tc.a, mindex.Opts{})
+			for _, r := range [][4]int{{r1, r2, c1, c2}, {0, m - 1, 0, n - 1}, {r1, r1, c1, c1}} {
+				got := ix.SubmatrixMax(r[0], r[1], r[2], r[3])
+				want := mindex.SubmatrixMaxBrute(tc.a, r[0], r[1], r[2], r[3])
+				if got != want {
+					t.Fatalf("seed=%d %s %dx%d [%d:%d,%d:%d]: index %+v, brute %+v",
+						seed, tc.name, m, n, r[0], r[1], r[2], r[3], got, want)
+				}
+				if tc.finite {
+					for drvName, d := range map[string]*batch.Driver{"pram": pramDrv, "native": nativeDrv} {
+						v, row := windowMaxViaDriver(d, tc.a, r[0], r[1], r[2], r[3])
+						if v != got.Val || row != got.Row {
+							t.Fatalf("seed=%d %s %dx%d [%d:%d,%d:%d]: index (val=%g,row=%d), %s SMAWK backend (val=%g,row=%d)",
+								seed, tc.name, m, n, r[0], r[1], r[2], r[3], got.Val, got.Row, drvName, v, row)
+						}
+					}
+				}
+			}
+			// RangeRowMinima three ways: index vs both backends' uncached
+			// full row minima, sliced to the query range.
+			for drvName, d := range map[string]*batch.Driver{"pram": pramDrv, "native": nativeDrv} {
+				var full []int
+				if tc.finite {
+					full = d.RowMinima(tc.a)
+				} else {
+					full = d.StaircaseRowMinima(tc.a)
+				}
+				got := ix.RangeRowMinima(r1, r2)
+				for i, j := range got {
+					if j != full[r1+i] {
+						t.Fatalf("seed=%d %s %dx%d rows [%d:%d]: RangeRowMinima[%d] = %d, %s backend says %d",
+							seed, tc.name, m, n, r1, r2, i, j, drvName, full[r1+i])
+					}
+				}
+			}
+		}
+	})
+}

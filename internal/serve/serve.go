@@ -54,6 +54,7 @@ import (
 	"monge/internal/faults"
 	"monge/internal/marray"
 	"monge/internal/merr"
+	"monge/internal/mindex"
 	"monge/internal/obs"
 	"monge/internal/pram"
 )
@@ -90,24 +91,38 @@ const (
 	StaircaseRowMinima
 	// TubeMaxima asks for the per-(i,k) tube maxima of the composite C.
 	TubeMaxima
+	// SubmatrixMax asks a prebuilt Index for the maximum of the
+	// submatrix Rows R1..R2 × Cols C1..C2 (inclusive).
+	SubmatrixMax
+	// RangeRowMinima asks a prebuilt Index for the leftmost row-minima
+	// columns of rows R1..R2 (inclusive).
+	RangeRowMinima
 )
 
 // Query is one unit of work for a Pool: a problem kind plus its input
-// (A for the row problems, C for the tube problem).
+// (A for the row problems, C for the tube problem, Index plus the
+// R1/R2/C1/C2 ranges for the index-backed point queries).
 type Query struct {
-	Kind Kind
-	A    marray.Matrix
-	C    marray.Composite
+	Kind  Kind
+	A     marray.Matrix
+	C     marray.Composite
+	Index *mindex.Index
+	R1    int
+	R2    int
+	C1    int
+	C2    int
 }
 
-// Result is one query's answer. Idx is set for the row problems; TubeJ
-// and TubeV for the tube problem. Err carries any typed condition the
-// simulation threw (merr.ErrCanceled, ErrDeadlineExceeded, fault-path
-// errors, ...); the answer fields are nil when Err is non-nil.
+// Result is one query's answer. Idx is set for the row problems and
+// RangeRowMinima; TubeJ and TubeV for the tube problem; Pos for
+// SubmatrixMax. Err carries any typed condition the simulation threw
+// (merr.ErrCanceled, ErrDeadlineExceeded, fault-path errors, ...); the
+// answer fields are zero when Err is non-nil.
 type Result struct {
 	Idx   []int
 	TubeJ [][]int
 	TubeV [][]float64
+	Pos   mindex.Pos
 	Err   error
 }
 
@@ -617,6 +632,16 @@ func (p *Pool) answer(d *batch.Driver, id int, q Query) (res Result) {
 	case TubeMaxima:
 		c := marray.Composite{D: p.cached(id, 0, q.C.D), E: p.cached(id, 1, q.C.E)}
 		res.TubeJ, res.TubeV = d.TubeMaxima(c)
+	case SubmatrixMax:
+		if q.Index == nil {
+			merr.Throwf(merr.ErrDimensionMismatch, "serve: SubmatrixMax query without an index")
+		}
+		res.Pos = q.Index.SubmatrixMax(q.R1, q.R2, q.C1, q.C2)
+	case RangeRowMinima:
+		if q.Index == nil {
+			merr.Throwf(merr.ErrDimensionMismatch, "serve: RangeRowMinima query without an index")
+		}
+		res.Idx = q.Index.RangeRowMinima(q.R1, q.R2)
 	default:
 		merr.Throwf(ErrUnknownKind, "serve: unknown query kind %d", int(q.Kind))
 	}

@@ -81,6 +81,10 @@ func FuzzSMAWKMatchesBrute(f *testing.F) {
 	// where the reduce stack and interpolation scans change shape.
 	f.Add(int64(6), 63, 64)
 	f.Add(int64(7), 96, 2)
+	// Huge-aspect-ratio seeds: a single long row and a single tall
+	// column, where the reduce stack degenerates entirely.
+	f.Add(int64(8), 1, 96)
+	f.Add(int64(9), 96, 1)
 	f.Fuzz(func(t *testing.T, seed int64, rawM, rawN int) {
 		m, n := fuzzDim(rawM), fuzzDim(rawN)
 		rng := rand.New(rand.NewSource(seed))
@@ -88,6 +92,7 @@ func FuzzSMAWKMatchesBrute(f *testing.F) {
 			marray.RandomMonge(rng, m, n),
 			marray.RandomMongeInt(rng, m, n, 3),
 			marray.RandomMongeInt(rng, m, n, 2), // tie-dense
+			marray.RandomNearTieMonge(rng, m, n), // near-degenerate 1e-9 ties
 		} {
 			want := smawk.RowMinimaBrute(a)
 			if i := diffIdx(smawk.RowMinima(a), want); i >= 0 {
@@ -172,23 +177,6 @@ func FuzzTubeMaximaMatchesBrute(f *testing.F) {
 	})
 }
 
-// infHeavyStaircase imposes an aggressive nonincreasing boundary on a
-// Monge array: roughly the top quarter of columns stay open on row 0 and
-// the boundary falls off row by row, so most rows are blocked and the
-// -1 answers dominate. Imposing a nonincreasing boundary on a Monge
-// array yields a staircase-Monge array.
-func infHeavyStaircase(rng *rand.Rand, m, n int) marray.Matrix {
-	d := marray.RandomMongeInt(rng, m, n, 2)
-	b0 := rng.Intn(n/2 + 1)
-	return marray.StairFunc{M: m, N: n, F: d.At, Bound: func(i int) int {
-		b := b0 - i
-		if b < 0 {
-			b = 0
-		}
-		return b
-	}}
-}
-
 func FuzzStaircaseRowMinima(f *testing.F) {
 	f.Add(int64(1), 8, 8)
 	f.Add(int64(2), 1, 50)
@@ -198,10 +186,14 @@ func FuzzStaircaseRowMinima(f *testing.F) {
 	// Adversarial ∞-heavy seeds: wide windows with mostly blocked rows.
 	f.Add(int64(6), 64, 63)
 	f.Add(int64(7), 96, 24)
+	// Huge-aspect ∞-heavy seeds: one long mostly-blocked row, and a tall
+	// single column where every row past the boundary answers -1.
+	f.Add(int64(8), 1, 96)
+	f.Add(int64(9), 96, 1)
 	f.Fuzz(func(t *testing.T, seed int64, rawM, rawN int) {
 		m, n := fuzzDim(rawM), fuzzDim(rawN)
 		rng := rand.New(rand.NewSource(seed))
-		heavy := infHeavyStaircase(rng, m, n)
+		heavy := marray.RandomInfHeavyStaircase(rng, m, n)
 		for _, a := range []marray.Matrix{
 			marray.RandomStaircaseMonge(rng, m, n),
 			marray.RandomStaircaseMongeInt(rng, m, n, 3),
@@ -223,11 +215,12 @@ func FuzzStaircaseRowMinima(f *testing.F) {
 	})
 }
 
-// sanity for the helper itself: boundaries must be valid (nonincreasing)
-// or the staircase solvers' preconditions would be violated silently.
+// sanity for the generator itself: boundaries must be valid
+// (nonincreasing) or the staircase solvers' preconditions would be
+// violated silently.
 func TestInfHeavyStaircaseIsValid(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	a := infHeavyStaircase(rng, 20, 30).(marray.StairFunc)
+	a := marray.RandomInfHeavyStaircase(rng, 20, 30)
 	prev := math.MaxInt
 	for i := 0; i < 20; i++ {
 		b := a.Boundary(i)

@@ -59,6 +59,7 @@ import (
 	hc "monge/internal/hypercube"
 	"monge/internal/marray"
 	"monge/internal/merr"
+	"monge/internal/mindex"
 	"monge/internal/pram"
 	"monge/internal/serve"
 	"monge/internal/smawk"
@@ -626,6 +627,128 @@ func (dp *DriverPool) TubeMaximaCtx(ctx context.Context, c Composite) (*PoolTick
 	return dp.p.SubmitCtx(ctx, serve.Query{Kind: serve.TubeMaxima, C: c})
 }
 
+// Index is a prebuilt submatrix max/min query structure over one Monge
+// (or staircase-Monge) matrix: near-linear preprocessing, then cheap
+// point/range queries answered from stored envelopes without re-running
+// SMAWK. Safe for concurrent queries after Build.
+type Index = mindex.Index
+
+// IndexPos is a submatrix-maximum answer: position plus value, with the
+// lexicographically smallest (row, col) among tied maxima. A fully
+// blocked staircase rectangle answers {-1, -1, -Inf}.
+type IndexPos = mindex.Pos
+
+// IndexOpts configures BuildIndexOpts; the zero value is fine.
+type IndexOpts = mindex.Opts
+
+// BuildIndex preprocesses a into a submatrix-maximum index. The input
+// is screened with the sampled validator (staircase-Monge when a
+// carries the Staircase interface, plain Monge otherwise) before any
+// preprocessing work.
+func BuildIndex(a Matrix) (*Index, error) {
+	return BuildIndexOpts(a, IndexOpts{})
+}
+
+// BuildIndexOpts is BuildIndex with explicit options (tile-cache size
+// for implicit inputs, fault injector for the build path). Inputs that
+// do not carry the Staircase interface are probed for +Inf blocking, so
+// dense staircase matrices build the staircase solvers too.
+func BuildIndexOpts(a Matrix, opt IndexOpts) (ix *Index, err error) {
+	in := a
+	if _, ok := a.(Staircase); !ok && a.Rows() > 0 && a.Cols() > 0 {
+		m, n := a.Rows(), a.Cols()
+		bound := make([]int, m)
+		blocked := false
+		for i := range bound {
+			bound[i] = marray.BoundaryOf(a, i)
+			if bound[i] < n {
+				blocked = true
+			}
+		}
+		if blocked {
+			in = marray.StairFunc{M: m, N: n, F: a.At, Bound: func(i int) int { return bound[i] }}
+		}
+	}
+	if _, stair := in.(Staircase); stair {
+		err = marray.CheckStaircaseMongeSampled(in)
+	} else {
+		err = marray.CheckMongeSampled(in)
+	}
+	if err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { ix = mindex.Build(in, opt) })
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// IndexSubmatrixMax answers a submatrix-maximum query on the calling
+// goroutine, without going through a pool.
+func IndexSubmatrixMax(ix *Index, r1, r2, c1, c2 int) (pos IndexPos, err error) {
+	if err = checkIndex(ix, func() error { return ix.CheckSubmatrix(r1, r2, c1, c2) }); err != nil {
+		return IndexPos{}, err
+	}
+	err = catchInto(func() { pos = ix.SubmatrixMax(r1, r2, c1, c2) })
+	return pos, err
+}
+
+// IndexRangeRowMinima answers a row-range minima query on the calling
+// goroutine, without going through a pool.
+func IndexRangeRowMinima(ix *Index, r1, r2 int) (idx []int, err error) {
+	if err = checkIndex(ix, func() error { return ix.CheckRowRange(r1, r2) }); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { idx = ix.RangeRowMinima(r1, r2) })
+	return idx, err
+}
+
+// checkIndex guards the nil index before running the range check.
+func checkIndex(ix *Index, rangeCheck func() error) error {
+	if ix == nil {
+		return merr.Errorf(merr.ErrDimensionMismatch, "monge: nil index")
+	}
+	return rangeCheck()
+}
+
+// SubmatrixMax submits a submatrix-maximum query against a prebuilt
+// index. The range check runs on the calling goroutine, so malformed
+// rectangles surface immediately, not on the ticket.
+func (dp *DriverPool) SubmatrixMax(ix *Index, r1, r2, c1, c2 int) (*PoolTicket, error) {
+	if err := checkIndex(ix, func() error { return ix.CheckSubmatrix(r1, r2, c1, c2) }); err != nil {
+		return nil, err
+	}
+	return dp.p.Submit(serve.Query{Kind: serve.SubmatrixMax, Index: ix, R1: r1, R2: r2, C1: c1, C2: c2})
+}
+
+// SubmatrixMaxCtx is SubmatrixMax with a per-query context; see
+// RowMinimaCtx for the deadline semantics.
+func (dp *DriverPool) SubmatrixMaxCtx(ctx context.Context, ix *Index, r1, r2, c1, c2 int) (*PoolTicket, error) {
+	if err := checkIndex(ix, func() error { return ix.CheckSubmatrix(r1, r2, c1, c2) }); err != nil {
+		return nil, err
+	}
+	return dp.p.SubmitCtx(ctx, serve.Query{Kind: serve.SubmatrixMax, Index: ix, R1: r1, R2: r2, C1: c1, C2: c2})
+}
+
+// RangeRowMinima submits a row-range minima query against a prebuilt
+// index (range check on the calling goroutine).
+func (dp *DriverPool) RangeRowMinima(ix *Index, r1, r2 int) (*PoolTicket, error) {
+	if err := checkIndex(ix, func() error { return ix.CheckRowRange(r1, r2) }); err != nil {
+		return nil, err
+	}
+	return dp.p.Submit(serve.Query{Kind: serve.RangeRowMinima, Index: ix, R1: r1, R2: r2})
+}
+
+// RangeRowMinimaCtx is RangeRowMinima with a per-query context; see
+// RowMinimaCtx for the deadline semantics.
+func (dp *DriverPool) RangeRowMinimaCtx(ctx context.Context, ix *Index, r1, r2 int) (*PoolTicket, error) {
+	if err := checkIndex(ix, func() error { return ix.CheckRowRange(r1, r2) }); err != nil {
+		return nil, err
+	}
+	return dp.p.SubmitCtx(ctx, serve.Query{Kind: serve.RangeRowMinima, Index: ix, R1: r1, R2: r2})
+}
+
 // Do runs one request through the pool's full load-discipline
 // lifecycle: admission gates (inflight cap, shedding, tenant quota),
 // the deadline carried by ctx, budgeted retries, and hedging when
@@ -650,6 +773,16 @@ func (dp *DriverPool) Do(ctx context.Context, req PoolRequest) PoolResult {
 		if err := marray.CheckMongeSampled(req.Query.C.E); err != nil {
 			return PoolResult{Err: err}
 		}
+	case serve.SubmatrixMax:
+		q := req.Query
+		if err := checkIndex(q.Index, func() error { return q.Index.CheckSubmatrix(q.R1, q.R2, q.C1, q.C2) }); err != nil {
+			return PoolResult{Err: err}
+		}
+	case serve.RangeRowMinima:
+		q := req.Query
+		if err := checkIndex(q.Index, func() error { return q.Index.CheckRowRange(q.R1, q.R2) }); err != nil {
+			return PoolResult{Err: err}
+		}
 	}
 	return dp.f.Do(ctx, req)
 }
@@ -668,6 +801,18 @@ func StaircaseRowMinimaRequest(a Matrix) PoolRequest {
 // TubeMaximaRequest builds the PoolRequest for a tube-maxima Do call.
 func TubeMaximaRequest(c Composite) PoolRequest {
 	return PoolRequest{Query: serve.Query{Kind: serve.TubeMaxima, C: c}}
+}
+
+// SubmatrixMaxRequest builds the PoolRequest for a submatrix-maximum Do
+// call against a prebuilt index.
+func SubmatrixMaxRequest(ix *Index, r1, r2, c1, c2 int) PoolRequest {
+	return PoolRequest{Query: serve.Query{Kind: serve.SubmatrixMax, Index: ix, R1: r1, R2: r2, C1: c1, C2: c2}}
+}
+
+// RangeRowMinimaRequest builds the PoolRequest for a row-range minima Do
+// call against a prebuilt index.
+func RangeRowMinimaRequest(ix *Index, r1, r2 int) PoolRequest {
+	return PoolRequest{Query: serve.Query{Kind: serve.RangeRowMinima, Index: ix, R1: r1, R2: r2}}
 }
 
 // Front exposes the pool's admission front for callers that want the
