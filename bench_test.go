@@ -796,3 +796,40 @@ func BenchmarkBackendKernels(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBackendKernelScans covers the shapes the branchless scan
+// pass targets, through the same BatchDriver seam as
+// BenchmarkBackendKernels: "narrow" takes the whole-row dense scan
+// fast path (n <= smawk.DenseScanCols, no SMAWK recursion on native),
+// and the two "huge-aspect" rows pin the merge-path dispatch — a 1-row
+// input must split by column segments instead of serializing, and a
+// 1-column input must still answer through the row-block path. The
+// isolated kernel-vs-scalar numbers live in internal/smawk's
+// BenchmarkScanKernels; these rows price the same kernels end-to-end.
+func BenchmarkBackendKernelScans(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	narrow := marray.RandomMonge(rng, 4096, 32)
+	wide := marray.RandomMonge(rng, 1, 1<<16)
+	tall := marray.RandomMonge(rng, 1<<16, 1)
+	for _, be := range []Backend{BackendPRAM, BackendNative} {
+		d := NewBatchDriverBackend(CRCW, be)
+		defer d.Close()
+		for _, tc := range []struct {
+			name string
+			a    Matrix
+		}{
+			{"narrow/4096x32", narrow},
+			{"huge-aspect/1x65536", wide},
+			{"huge-aspect/65536x1", tall},
+		} {
+			b.Run(fmt.Sprintf("backend=%s/%s", be, tc.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := d.RowMinima(tc.a); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

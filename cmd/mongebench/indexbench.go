@@ -56,7 +56,9 @@ type indexLadder struct {
 	Queries int    `json:"queries_per_point"`
 	// MinSpeedupP95 is the acceptance gate TestIndexBaseline enforces on
 	// the largest ladder size: the indexed p95 must beat the uncached
-	// SMAWK call by at least this factor.
+	// SMAWK call by at least this factor. Raised from 10 to 12 with the
+	// two-phase deferred-cut query (PR 9) — the weakest of five fresh
+	// 1-CPU recordings sustained 12.2x.
 	MinSpeedupP95 float64      `json:"min_speedup_p95"`
 	Points        []indexPoint `json:"points"`
 }
@@ -75,7 +77,7 @@ func indexExp() {
 		CPUs:          runtime.NumCPU(),
 		Seed:          seed,
 		Queries:       queries,
-		MinSpeedupP95: 10,
+		MinSpeedupP95: 12,
 	}
 
 	printf("\n== Submatrix-maximum index: preprocessing vs per-query latency, %d queries per size ==\n", queries)

@@ -66,8 +66,8 @@ func TestIndexBaseline(t *testing.T) {
 	if b.CPUs < 1 || b.Queries <= 0 {
 		t.Fatalf("baseline provenance incomplete: cpus=%d queries_per_point=%d", b.CPUs, b.Queries)
 	}
-	if b.MinSpeedupP95 < 10 {
-		t.Fatalf("min_speedup_p95 %g weakens the committed acceptance bound of 10", b.MinSpeedupP95)
+	if b.MinSpeedupP95 < 12 {
+		t.Fatalf("min_speedup_p95 %g weakens the committed acceptance bound of 12", b.MinSpeedupP95)
 	}
 	wantN := []int{256, 1024, 4096}
 	if len(b.Points) != len(wantN) {

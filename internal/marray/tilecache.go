@@ -36,6 +36,10 @@ const (
 	// non-positive capacity: 2048 tiles ≈ 1.1 MiB of cached values,
 	// covering a 360x360 implicit matrix entirely.
 	DefaultTiles = 2048
+
+	// TileSide is the exported tile side length, for callers sizing a
+	// cache to cover a given matrix shape.
+	TileSide = tileSide
 )
 
 // tile is one filled block of entries. ti/tj are the tile coordinates

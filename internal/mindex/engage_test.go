@@ -1,0 +1,67 @@
+package mindex
+
+// Random Monge inputs produce degenerate envelopes — a handful of rows
+// dominate every node, so per-node interval counts stay in the
+// forward-walk regime (K <= 3 observed at n=4096) and the packed
+// predecessor structure never builds. This test constructs the
+// adversarial opposite: rows that are tangent lines to a parabola
+// (column-reversed so the construction is Monge rather than
+// inverse-Monge), where every row of a node wins its own envelope
+// interval. The root carries one interval per row, well past
+// packedMinIvals, so the bitmap regime of findInterval is exercised by
+// a real build end-to-end — packed_test.go covers the same code on
+// synthetic layouts — and every answer is checked against the brute
+// oracle.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"monge/internal/marray"
+)
+
+func TestPackedEngagesOnTangentLines(t *testing.T) {
+	const m, n = 256, 512
+	c := func(i int) float64 { return float64(i) * float64(n-1) / float64(m-1) }
+	a := marray.Func{M: m, N: n, F: func(i, j int) float64 {
+		jr := float64(n - 1 - j)
+		return 2*c(i)*jr - c(i)*c(i)
+	}}
+	ix := Build(a, Opts{})
+
+	packed, maxK := 0, 0
+	for i := range ix.nodes {
+		if k := len(ix.nodes[i].own); k > maxK {
+			maxK = k
+		}
+		if ix.nodes[i].pw != nil {
+			packed++
+		}
+	}
+	if packed == 0 || maxK < packedMinIvals {
+		t.Fatalf("packed structure never engaged: %d packed nodes, max %d intervals/node (threshold %d)",
+			packed, maxK, packedMinIvals)
+	}
+	t.Logf("nodes=%d packed=%d maxIvals=%d", len(ix.nodes), packed, maxK)
+
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 300; q++ {
+		r1 := rng.Intn(m)
+		r2 := r1 + rng.Intn(m-r1)
+		c1 := rng.Intn(n)
+		c2 := c1 + rng.Intn(n-c1)
+		got := ix.SubmatrixMax(r1, r2, c1, c2)
+		best := Pos{Row: -1, Col: -1, Val: math.Inf(-1)}
+		for i := r1; i <= r2; i++ {
+			for j := c1; j <= c2; j++ {
+				if v := a.At(i, j); v > best.Val {
+					best = Pos{Row: i, Col: j, Val: v}
+				}
+			}
+		}
+		if got != best {
+			t.Fatalf("query %d [%d,%d]x[%d,%d]: got %+v want %+v", q, r1, r2, c1, c2, got, best)
+		}
+	}
+}

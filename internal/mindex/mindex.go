@@ -55,6 +55,7 @@ package mindex
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 
 	"monge/internal/faults"
@@ -67,6 +68,30 @@ import (
 // block keeps the boundary scans of a query at most 128 entries while
 // costing one stored value per 64 input entries.
 const blockShift = 6
+
+// walkMaxIvals and packedMinIvals split findInterval into three
+// regimes by interval count K. Small nodes (K <= walkMaxIvals) walk
+// their handful of breakpoints forward — fewer than one cache line of
+// bp, and the walk beats any structure. Mid nodes binary-search bp,
+// whose few hundred bytes the cut path pulls into cache anyway. Only
+// large nodes (K >= packedMinIvals) carry the packed predecessor
+// bitmap over their breakpoint columns, where locating an interval is
+// one masked popcount — the predecessor-search view of the query
+// (arXiv 1502.07663) — touching two cache lines where a binary search
+// over a multi-KB bp would take log K cold probes. Only nodes spanning
+// >= packedMinIvals rows can reach the packed regime, so the bitmaps
+// cost O((m/packedMinIvals) * n/64) words and never crowd the caches
+// the boundary cuts need.
+const (
+	walkMaxIvals   = 7
+	packedMinIvals = 64
+)
+
+// autoTilesCap bounds the auto-sized tile cache wrapped around
+// implicit inputs at build time: 1<<14 tiles is ~9.5 MiB of cached
+// values, enough to cover a 1024x1024 input entirely so the build
+// evaluates each entry once.
+const autoTilesCap = 1 << 14
 
 // Pos is one submatrix-maximum answer: the value and its position. A
 // fully blocked (+Inf) rectangle has Row = Col = -1 and Val = -Inf.
@@ -93,7 +118,10 @@ type Opts struct {
 // n); own[k] owns columns [bp[k], bp[k+1]) and is strictly decreasing
 // in k. ivMax/ivArg hold each interval's maximum value and its leftmost
 // column (-1 when the interval is entirely blocked), and sp is the
-// flattened sparse table over intervals (spL levels, stride K).
+// flattened sparse table over intervals (spL levels, stride K). For
+// nodes with >= packedMinIvals intervals, pw is a bitmap over the
+// column space with one bit set per interval start and pr the per-word
+// prefix ranks, so findInterval is a single masked popcount.
 type node struct {
 	lo, hi      int32
 	left, right int32
@@ -103,6 +131,8 @@ type node struct {
 	ivArg       []int32
 	sp          []int32
 	spL         int32
+	pw          []uint64
+	pr          []int32
 }
 
 // Index answers submatrix maximum and row-range minima queries over one
@@ -110,6 +140,7 @@ type node struct {
 // afterwards and safe for concurrent use.
 type Index struct {
 	a    marray.Matrix // evaluation view (tile-cached for implicit inputs)
+	d    *marray.Dense // non-nil for dense inputs: zero-copy row views
 	m, n int
 
 	nblk   int       // blocks per row
@@ -148,8 +179,26 @@ func Build(a marray.Matrix, opt Opts) *Index {
 		inj = faults.Global()
 	}
 	ix := &Index{a: a, m: m, n: n}
-	if _, dense := a.(*marray.Dense); !dense {
-		ix.a = marray.NewTileCache(opt.Tiles).View(a)
+	if d, dense := a.(*marray.Dense); dense {
+		ix.d = d
+	} else {
+		tiles := opt.Tiles
+		if tiles <= 0 {
+			// Auto-size to the input: the build sweeps every entry at
+			// least once (row blocks) and the envelope merges re-probe
+			// columns, so covering the whole array — up to a cap —
+			// makes each implicit entry evaluate exactly once.
+			ti := (m + marray.TileSide - 1) / marray.TileSide
+			tj := (n + marray.TileSide - 1) / marray.TileSide
+			tiles = ti * tj
+			if tiles < marray.DefaultTiles {
+				tiles = marray.DefaultTiles
+			}
+			if tiles > autoTilesCap {
+				tiles = autoTilesCap
+			}
+		}
+		ix.a = marray.NewTileCache(tiles).View(a)
 	}
 
 	// One linear pass over the input: per-row block maxima. Everything
@@ -175,8 +224,8 @@ func Build(a marray.Matrix, opt Opts) *Index {
 	ix.bytes = int64(len(ix.blkVal))*8 + int64(len(ix.blkArg))*4 + int64(len(ix.rowMin))*4
 	for i := range ix.nodes {
 		nd := &ix.nodes[i]
-		ix.bytes += int64(len(nd.bp)+len(nd.own)+len(nd.ivArg)+len(nd.sp))*4 +
-			int64(len(nd.ivMax))*8 + 32
+		ix.bytes += int64(len(nd.bp)+len(nd.own)+len(nd.ivArg)+len(nd.sp)+len(nd.pr))*4 +
+			int64(len(nd.ivMax)+len(nd.pw))*8 + 32
 	}
 	return ix
 }
@@ -195,14 +244,25 @@ func buildUnit(inj *faults.Injector, unit int64, f func()) {
 }
 
 // fillRowBlocks computes row i's block maxima (leftmost argmax per
-// 64-column block).
+// 64-column block). Dense rows run the shared branchless kernel on the
+// zero-copy row view — ArgMaxFinite skips +Inf (blocked) entries
+// exactly as ev maps them to -Inf — and implicit rows pay one At per
+// entry.
 func (ix *Index) fillRowBlocks(i int) {
 	base := i * ix.nblk
+	var row []float64
+	if ix.d != nil {
+		row = ix.d.RowView(i)
+	}
 	for b := 0; b < ix.nblk; b++ {
 		lo := b << blockShift
 		hi := lo + (1 << blockShift)
 		if hi > ix.n {
 			hi = ix.n
+		}
+		if row != nil {
+			ix.blkVal[base+b], ix.blkArg[base+b] = segMax(row, lo, hi)
+			continue
 		}
 		best, barg := math.Inf(-1), int32(-1)
 		for j := lo; j < hi; j++ {
@@ -213,6 +273,27 @@ func (ix *Index) fillRowBlocks(i int) {
 		ix.blkVal[base+b] = best
 		ix.blkArg[base+b] = barg
 	}
+}
+
+// segMax returns the maximum of row[x:y] and its leftmost column under
+// the index contract: +Inf (blocked) never wins, an all-blocked
+// segment answers (-Inf, -1). Segments here are at most one 64-column
+// block, where a tight scalar loop over the slice beats the 4-wide
+// branchless kernels (their lane setup and merge only amortize on long
+// rows); the win over the generic path is skipping the per-entry
+// interface call, not the loop shape.
+func segMax(row []float64, x, y int) (float64, int32) {
+	best, barg := math.Inf(-1), int32(-1)
+	for j := x; j < y; j++ {
+		v := row[j]
+		if math.IsInf(v, 1) {
+			continue
+		}
+		if v > best {
+			best, barg = v, int32(j)
+		}
+	}
+	return best, barg
 }
 
 // fillRowMinima computes the full-row leftmost minima table through the
@@ -235,13 +316,35 @@ func (ix *Index) fillRowMinima() {
 // the block-maxima table: O(B + n/B) work. Returns (-Inf, -1) when the
 // range is entirely blocked.
 func (ix *Index) rowRangeMax(r, c1, c2 int) (float64, int32) {
+	b1, b2 := c1>>blockShift, c2>>blockShift
+	if ix.d != nil {
+		// Dense rows: the two boundary cuts run the branchless kernel
+		// on subslices of the zero-copy row view, and the whole-block
+		// run is one branchless scan over the stored block maxima.
+		// Candidates fold in ascending column order under strict >,
+		// which keeps the leftmost maximizer.
+		row := ix.d.RowView(r)
+		if b1 == b2 {
+			return segMax(row, c1, c2+1)
+		}
+		best, barg := segMax(row, c1, (b1+1)<<blockShift)
+		base := r * ix.nblk
+		for b := base + b1 + 1; b < base+b2; b++ {
+			if v := ix.blkVal[b]; v > best {
+				best, barg = v, ix.blkArg[b]
+			}
+		}
+		if v, j := segMax(row, b2<<blockShift, c2+1); v > best {
+			best, barg = v, j
+		}
+		return best, barg
+	}
 	best, barg := math.Inf(-1), int32(-1)
 	consider := func(v float64, j int32) {
 		if v > best {
 			best, barg = v, j
 		}
 	}
-	b1, b2 := c1>>blockShift, c2>>blockShift
 	if b1 == b2 {
 		for j := c1; j <= c2; j++ {
 			consider(ix.ev(r, j), int32(j))
@@ -316,12 +419,14 @@ func (ix *Index) mergeEnvelopes(v, l, r int32) {
 		nd := &ix.nodes[v]
 		nd.bp, nd.own, nd.ivMax, nd.ivArg = ln.bp, ln.own, ln.ivMax, ln.ivArg
 		nd.sp, nd.spL = ln.sp, ln.spL
+		nd.pw, nd.pr = ln.pw, ln.pr
 		return
 	}
 	if cross == n {
 		nd := &ix.nodes[v]
 		nd.bp, nd.own, nd.ivMax, nd.ivArg = rn.bp, rn.own, rn.ivMax, rn.ivArg
 		nd.sp, nd.spL = rn.sp, rn.spL
+		nd.pw, nd.pr = rn.pw, rn.pr
 		return
 	}
 	bp := make([]int32, 0, len(rn.own)+len(ln.own)+1)
@@ -363,6 +468,28 @@ func (ix *Index) mergeEnvelopes(v, l, r int32) {
 	nd := &ix.nodes[v]
 	nd.bp, nd.own, nd.ivMax, nd.ivArg = bp, own, ivMax, ivArg
 	nd.buildSparse()
+	nd.buildPacked(n)
+}
+
+// buildPacked fills the node's packed predecessor structure when it
+// has enough intervals to profit: one bit per interval start in a
+// bitmap over the columns, plus per-word prefix ranks. findInterval is
+// then rank(j) - 1 — a load, a mask, and a popcount.
+func (nd *node) buildPacked(n int) {
+	if len(nd.own) < packedMinIvals {
+		return
+	}
+	words := (n + 63) >> 6
+	nd.pw = make([]uint64, words)
+	for _, start := range nd.bp[:len(nd.own)] {
+		nd.pw[start>>6] |= 1 << (uint(start) & 63)
+	}
+	nd.pr = make([]int32, words)
+	c := int32(0)
+	for w, word := range nd.pw {
+		nd.pr[w] = c
+		c += int32(bits.OnesCount64(word))
+	}
 }
 
 // buildSparse fills the node's sparse table: sp[l*K+k] is the best
@@ -412,9 +539,23 @@ func (nd *node) rangeBest(ka, kb int32) int32 {
 	return nd.betterInterval(nd.sp[int32(l)*k+ka], nd.sp[int32(l)*k+kb+1-int32(1<<l)])
 }
 
-// findInterval returns the interval index containing column j.
+// findInterval returns the interval index containing column j: the
+// number of interval starts at or before j, minus one. Packed nodes
+// answer with one masked popcount (bp[0] = 0 guarantees rank >= 1);
+// small nodes walk their breakpoints forward (the walk ends because
+// bp[K] = n > j); mid nodes binary-search bp.
 func (nd *node) findInterval(j int) int32 {
-	// Smallest index with bp[idx] > j, minus one.
+	if nd.pw != nil {
+		w := j >> 6
+		return int32(int(nd.pr[w])+smawk.Rank64(nd.pw[w], uint(j&63))) - 1
+	}
+	if len(nd.own) <= walkMaxIvals {
+		k := int32(0)
+		for int(nd.bp[k+1]) <= j {
+			k++
+		}
+		return k
+	}
 	idx := sort.Search(len(nd.bp), func(i int) bool { return int(nd.bp[i]) > j })
 	return int32(idx - 1)
 }
@@ -463,35 +604,83 @@ func (ix *Index) CheckRowRange(r1, r2 int) error {
 	return nil
 }
 
+// cutRef is one boundary cut deferred to a query's scan phase:
+// interval k of node nd restricted to columns [x, y].
+type cutRef struct {
+	nd   *node
+	k    int32
+	x, y int32
+}
+
+// cutStack collects the deferred cuts of one query. Its fixed capacity
+// covers two cuts for each of the at-most-2*lg(m) canonical nodes of
+// any query against any practical m; if it ever fills, further cuts
+// simply scan immediately, which is always correct.
+type cutStack struct {
+	n int
+	c [128]cutRef
+}
+
 // SubmatrixMax returns the maximum entry of the inclusive rectangle
 // [r1,r2] x [c1,c2] with the lexicographically smallest (row, col)
 // among maximizers; +Inf entries never win, and a fully blocked
 // rectangle answers {-1, -1, -Inf}. Throws merr.ErrDimensionMismatch
-// for an out-of-range rectangle. O(log m log n) plus two bounded
-// boundary cuts per canonical node.
+// for an out-of-range rectangle.
+//
+// The query runs in two phases. The descent phase resolves everything
+// answerable from tables alone — whole-interval runs via the sparse
+// tables, boundary cuts whose stored argmax survives the cut — and
+// defers every cut that would have to rescan a row of the input. The
+// scan phase then processes the deferred cuts best-first: almost all
+// of them are pruned by the interval upper bound against the
+// table-phase maximum, so a typical query touches the input array for
+// at most one or two cuts. On inputs far larger than the caches those
+// row touches are the only cache-cold traffic, which is what keeps
+// tail latency near-flat in n. Candidate order never affects the
+// answer: consider's order is total on (val, row, col).
 func (ix *Index) SubmatrixMax(r1, r2, c1, c2 int) Pos {
 	if err := ix.CheckSubmatrix(r1, r2, c1, c2); err != nil {
 		merr.Throw(err)
 	}
 	best := Pos{Row: -1, Col: -1, Val: math.Inf(-1)}
-	ix.query(0, r1, r2+1, c1, c2, &best)
+	var st cutStack
+	ix.query(0, r1, r2+1, c1, c2, &best, &st)
+	if st.n > 0 {
+		// Scan the largest upper bound first so the remaining cuts
+		// prune against the strongest possible best.
+		top := 0
+		for i := 1; i < st.n; i++ {
+			if st.c[i].nd.ivMax[st.c[i].k] > st.c[top].nd.ivMax[st.c[top].k] {
+				top = i
+			}
+		}
+		d := st.c[top]
+		ix.scanCut(d.nd, d.k, int(d.x), int(d.y), &best)
+		for i := 0; i < st.n; i++ {
+			if i == top {
+				continue
+			}
+			d := st.c[i]
+			ix.scanCut(d.nd, d.k, int(d.x), int(d.y), &best)
+		}
+	}
 	return best
 }
 
 // query descends the hierarchy from node v, resolving canonical nodes
 // fully inside rows [r1, r2).
-func (ix *Index) query(v int32, r1, r2, c1, c2 int, best *Pos) {
+func (ix *Index) query(v int32, r1, r2, c1, c2 int, best *Pos, st *cutStack) {
 	nd := &ix.nodes[v]
 	if r1 <= int(nd.lo) && int(nd.hi) <= r2 {
-		ix.scanNode(nd, c1, c2, best)
+		ix.scanNode(nd, c1, c2, best, st)
 		return
 	}
 	mid := int(ix.nodes[nd.left].hi)
 	if r1 < mid {
-		ix.query(nd.left, r1, r2, c1, c2, best)
+		ix.query(nd.left, r1, r2, c1, c2, best, st)
 	}
 	if r2 > mid {
-		ix.query(nd.right, r1, r2, c1, c2, best)
+		ix.query(nd.right, r1, r2, c1, c2, best, st)
 	}
 }
 
@@ -514,30 +703,49 @@ func consider(best *Pos, val float64, row, col int32) {
 // stored interval maximum when its argmax survives the cut (O(1)) or
 // the block-maxima table otherwise, and the run of whole intervals
 // between them through the sparse table (O(1)).
-func (ix *Index) scanNode(nd *node, c1, c2 int, best *Pos) {
+func (ix *Index) scanNode(nd *node, c1, c2 int, best *Pos, st *cutStack) {
 	kl := nd.findInterval(c1)
 	kr := nd.findInterval(c2)
 	if kl == kr {
-		ix.cutInterval(nd, kl, c1, c2, best)
+		ix.cutInterval(nd, kl, c1, c2, best, st)
 		return
 	}
-	ix.cutInterval(nd, kl, c1, int(nd.bp[kl+1])-1, best)
 	if kl+1 <= kr-1 {
 		k := nd.rangeBest(kl+1, kr-1)
 		consider(best, nd.ivMax[k], nd.own[k], nd.ivArg[k])
 	}
-	ix.cutInterval(nd, kr, int(nd.bp[kr]), c2, best)
+	ix.cutInterval(nd, kl, c1, int(nd.bp[kl+1])-1, best, st)
+	ix.cutInterval(nd, kr, int(nd.bp[kr]), c2, best, st)
 }
 
 // cutInterval considers interval k restricted to columns [x, y]. When
 // the restriction keeps the whole interval, or the stored leftmost
 // argmax falls inside the cut (in which case it is also the cut's
-// leftmost maximizer), the stored answer is reused; otherwise the
-// owner's row-range maximum is recomputed from the block-maxima table.
-func (ix *Index) cutInterval(nd *node, k int32, x, y int, best *Pos) {
+// leftmost maximizer), the stored answer is reused; any other cut is
+// deferred to the query's scan phase.
+func (ix *Index) cutInterval(nd *node, k int32, x, y int, best *Pos, st *cutStack) {
 	if arg := nd.ivArg[k]; (x == int(nd.bp[k]) && y == int(nd.bp[k+1])-1) ||
 		(arg >= 0 && int(arg) >= x && int(arg) <= y) {
 		consider(best, nd.ivMax[k], nd.own[k], arg)
+		return
+	}
+	if st.n < len(st.c) {
+		st.c[st.n] = cutRef{nd: nd, k: k, x: int32(x), y: int32(y)}
+		st.n++
+		return
+	}
+	ix.scanCut(nd, k, x, y, best)
+}
+
+// scanCut resolves one deferred cut: the stored interval maximum — an
+// upper bound on the cut's maximum — prunes the scan whenever no value
+// the cut could yield would improve best (any cut maximizer has row
+// own[k] and column >= x, so the bound extends to the tie-breaking
+// order); an unpruned cut recomputes the owner's row-range maximum
+// from the block-maxima table and the row itself.
+func (ix *Index) scanCut(nd *node, k int32, x, y int, best *Pos) {
+	if v, row := nd.ivMax[k], int(nd.own[k]); v < best.Val ||
+		(v == best.Val && (row > best.Row || (row == best.Row && x >= best.Col))) {
 		return
 	}
 	val, arg := ix.rowRangeMax(int(nd.own[k]), x, y)

@@ -21,18 +21,26 @@
 //
 // # Execution shape
 //
-// A parlay-style size threshold keeps small queries serial: below
-// serialRows the dispatch overhead of any fan-out exceeds the kernel
-// itself, so the query runs inline on the calling goroutine. Above it,
-// rows are cut into blockRows-row blocks and dispatched as one
-// work-stealing loop on an internal/exec.Pool with Grain=1 — one
-// claimable chunk per block, so idle workers steal whole blocks. Each
-// block is a cache tile (the output range plus the sequential solver's
-// pooled scratch stay resident while the block is solved), and dense
-// inputs narrow enough for a scan take a branchless two-pass row scan
-// (see scan.go) instead of the SMAWK recursion. All recursion scratch
-// comes from the pooled internal/scratch arenas behind
-// smawk.RowMinimaInto, so a query allocates only its answer slice.
+// Dispatch splits by area, merge-path style: every work-stealing chunk
+// covers roughly the same number of array entries, regardless of the
+// query's aspect ratio. A parlay-style area threshold keeps small
+// queries serial — below serialArea the dispatch overhead of any
+// fan-out exceeds the kernel itself, so the query runs inline on the
+// calling goroutine. Above it, rows are cut into blocks of
+// chunkArea/n rows (capped at blockRows so a block stays one cache
+// tile) and dispatched as one work-stealing loop on an
+// internal/exec.Pool with Grain=1. When that yields fewer row chunks
+// than workers — the huge-aspect regime, down to a single 1xn row —
+// dispatch additionally splits columns into balanced segments, scans
+// each (row block, segment) chunk independently into per-segment
+// partial minima, and combines the partials sequentially in ascending
+// column order, which preserves the leftmost tie rule exactly. Dense
+// inputs run the shared branchless argmin kernels (internal/smawk
+// scan.go) over zero-copy row views, both for narrow whole-row scans
+// and for column segments. All recursion scratch comes from the pooled
+// internal/scratch arenas behind smawk.RowMinimaInto, so a query
+// allocates only its answer slice (plus one partials slice on the
+// column-split path).
 //
 // Cancellation is cooperative: a done context aborts between blocks and
 // the kernel throws merr.ErrCanceled, exactly as the simulated machines
@@ -51,14 +59,24 @@ import (
 )
 
 const (
-	// serialRows is the query height below which the kernel runs inline:
-	// a block fan-out costs a publish plus one atomic claim per block,
-	// which only pays for itself once several blocks exist.
-	serialRows = 128
-	// blockRows is the row-block height of the parallel split. 64 rows
-	// keeps a block's answer range and the SMAWK scratch within a few KB
-	// — one block is one cache tile and one work-stealing unit.
+	// serialArea is the query area (rows x cols) below which the kernel
+	// runs inline: a fan-out costs a publish plus one atomic claim per
+	// chunk, which only pays for itself once the scanned area dwarfs it.
+	// 8192 entries keeps every pre-split shape that ran serially (up to
+	// 128 rows at the old 64-column benchmark width) serial.
+	serialArea = 8192
+	// chunkArea is the target area of one work-stealing chunk: a row
+	// block is chunkArea/n rows, so chunks carry equal work whether the
+	// query is 1024x1024 or 4x262144.
+	chunkArea = 1 << 16
+	// blockRows caps the row-block height of the parallel split. 64
+	// rows keeps a block's answer range and the SMAWK scratch within a
+	// few KB — one block is one cache tile and one work-stealing unit.
 	blockRows = 64
+	// segMinCols is the narrowest column segment the huge-aspect split
+	// will create: below ~512 columns the per-chunk claim and the
+	// combine pass outweigh the scan itself.
+	segMinCols = 512
 	// serialSlices / blockSlices are the tube analogues: a tube i-slice
 	// costs a full SMAWK pass over an r x q slice, so slices are coarser
 	// units than rows and fan out at smaller counts.
@@ -103,10 +121,10 @@ func RowMinima(ctx context.Context, pool *exec.Pool, a marray.Matrix) []int {
 	solve := func(lo, hi int) {
 		smawk.RowMinimaInto(marray.RowBand(a, lo, hi-lo), out[lo:hi])
 	}
-	if d, ok := a.(*marray.Dense); ok && n <= denseScanCols {
+	if d, ok := a.(*marray.Dense); ok && n <= smawk.DenseScanCols {
 		solve = func(lo, hi int) { scanDenseMinima(d, lo, hi, out) }
 	}
-	runRows(ctx, pool, m, solve)
+	runRows(ctx, pool, a, m, n, false, solve, out)
 	return out
 }
 
@@ -120,10 +138,10 @@ func StaircaseRowMinima(ctx context.Context, pool *exec.Pool, a marray.Matrix) [
 	solve := func(lo, hi int) {
 		smawk.StaircaseRowMinimaInto(marray.RowBand(a, lo, hi-lo), out[lo:hi])
 	}
-	if d, ok := a.(*marray.Dense); ok && n <= denseScanCols {
+	if d, ok := a.(*marray.Dense); ok && n <= smawk.DenseScanCols {
 		solve = func(lo, hi int) { scanDenseStairMinima(d, lo, hi, out) }
 	}
-	runRows(ctx, pool, m, solve)
+	runRows(ctx, pool, a, m, n, true, solve, out)
 	return out
 }
 
@@ -180,10 +198,12 @@ func TubeMaxima(ctx context.Context, pool *exec.Pool, c marray.Composite) ([][]i
 	return argJ, vals
 }
 
-// runRows executes solve over [0, m) — inline below the serial cutoff or
-// on a one-worker pool, otherwise as blockRows-row blocks stolen from
-// the pool — and folds the dispatch shape into the "native" obs site.
-func runRows(ctx context.Context, pool *exec.Pool, m int, solve func(lo, hi int)) {
+// runRows executes solve over [0, m) — inline below the serial area
+// cutoff or on a one-worker pool, otherwise as area-balanced row
+// blocks stolen from the pool, falling through to a column-segment
+// split when the query is too flat for row blocks alone to feed every
+// worker — and folds the dispatch shape into the "native" obs site.
+func runRows(ctx context.Context, pool *exec.Pool, a marray.Matrix, m, n int, stair bool, solve func(lo, hi int), out []int) {
 	ct := counters()
 	if ct != nil {
 		ct.Searches.Add(1)
@@ -191,27 +211,85 @@ func runRows(ctx context.Context, pool *exec.Pool, m int, solve func(lo, hi int)
 	if pool == nil {
 		pool = exec.Default()
 	}
-	if m <= serialRows || pool.Workers() <= 1 {
+	w := pool.Workers()
+	if int64(m)*int64(n) <= serialArea || w <= 1 {
 		checkCtx(ctx)
 		solve(0, m)
 		countRun(ct, exec.RunResult{Chunks: 1})
 		return
 	}
-	blocks := (m + blockRows - 1) / blockRows
+	rowsPer := chunkArea / n
+	if rowsPer < 1 {
+		rowsPer = 1
+	}
+	if rowsPer > blockRows {
+		rowsPer = blockRows
+	}
+	rowChunks := (m + rowsPer - 1) / rowsPer
+	if rowChunks < w && n >= 2*segMinCols {
+		runColSegments(ctx, pool, ct, a, m, n, rowsPer, rowChunks, w, stair, out)
+		return
+	}
 	res, err := pool.Run(exec.Loop{
-		N: blocks, Grain: 1, Ctx: ctx,
+		N: rowChunks, Grain: 1, Ctx: ctx,
 		Body: func(b int) {
-			lo := b * blockRows
-			hi := lo + blockRows
-			if hi > m {
-				hi = m
-			}
+			lo := b * rowsPer
+			hi := min(lo+rowsPer, m)
 			solve(lo, hi)
 		},
 	})
 	countRun(ct, res)
 	if err != nil {
 		merr.Throw(merr.Canceled(err))
+	}
+}
+
+// runColSegments is the huge-aspect arm of the merge-path split: the
+// row blocks alone cannot feed every worker (down to one block for a
+// 1xn query), so each row block is further cut into column segments of
+// equal width and every (row block, segment) pair becomes one
+// work-stealing chunk. Workers write the leftmost minimum of each
+// (row, segment) into a partials table; the combine pass then folds
+// each row's partials in ascending column order under strict less,
+// which is exactly the leftmost rule. The combine is sequential and
+// touches m x segments entries — negligible against the m x n scanned.
+func runColSegments(ctx context.Context, pool *exec.Pool, ct *obs.Counters, a marray.Matrix, m, n, rowsPer, rowChunks, w int, stair bool, out []int) {
+	// Aim for a few chunks per worker so stealing can balance uneven
+	// segment costs, bounded by the narrowest segment worth claiming.
+	segs := (4*w + rowChunks - 1) / rowChunks
+	if maxSegs := n / segMinCols; segs > maxSegs {
+		segs = maxSegs
+	}
+	segW := (n + segs - 1) / segs
+	part := make([]int, m*segs)
+	d, _ := a.(*marray.Dense)
+	res, err := pool.Run(exec.Loop{
+		N: rowChunks * segs, Grain: 1, Ctx: ctx,
+		Body: func(t int) {
+			b, sg := t/segs, t%segs
+			lo, hi := b*rowsPer, min(b*rowsPer+rowsPer, m)
+			c0, c1 := sg*segW, min(sg*segW+segW, n)
+			for i := lo; i < hi; i++ {
+				part[i*segs+sg] = segmentArgMin(a, d, stair, i, c0, c1)
+			}
+		},
+	})
+	countRun(ct, res)
+	if err != nil {
+		merr.Throw(merr.Canceled(err))
+	}
+	for i := 0; i < m; i++ {
+		best, bv := -1, 0.0
+		for sg := 0; sg < segs; sg++ {
+			c := part[i*segs+sg]
+			if c < 0 {
+				continue
+			}
+			if v := a.At(i, c); best < 0 || ltTotal(v, bv) {
+				best, bv = c, v
+			}
+		}
+		out[i] = best
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -14,6 +15,7 @@ import (
 	"monge/internal/native"
 	"monge/internal/obs"
 	"monge/internal/pram"
+	"monge/internal/smawk"
 )
 
 // catch runs f and returns the typed condition it threw, if any.
@@ -62,23 +64,46 @@ type rowCase struct {
 func rowFamilies(rng *rand.Rand, m, n int) []rowCase {
 	dense := marray.RandomMonge(rng, m, n)
 	ties := marray.RandomMongeInt(rng, m, n, 2)
+	nearTie := marray.RandomNearTieMonge(rng, m, n)
 	return []rowCase{
 		{"dense", dense},
 		{"func", marray.Func{M: m, N: n, F: dense.At}},
 		{"ties", ties},
 		{"all-ties", marray.Func{M: m, N: n, F: func(int, int) float64 { return 7 }}},
+		// Ties split at the 1e-9 scale: exact comparison and exact
+		// leftmost tie-breaking are the only way through. Run dense so
+		// the branchless scan kernels face it, and Func-backed so the
+		// generic At path faces the identical input.
+		{"near-tie", nearTie},
+		{"near-tie-func", marray.Func{M: m, N: n, F: nearTie.At}},
+		// All-ties again, but every entry in an odd column is -0.0:
+		// IEEE order makes -0.0 == +0.0, so the leftmost rule must pick
+		// column 0 everywhere — a kernel whose key map distinguishes the
+		// zero signs answers an odd column instead.
+		{"signed-zeros", marray.Func{M: m, N: n, F: func(_, j int) float64 {
+			if j%2 == 1 {
+				return math.Copysign(0, -1)
+			}
+			return 0
+		}}},
 	}
 }
 
 func stairFamilies(rng *rand.Rand, m, n int) []rowCase {
 	dense := marray.RandomStaircaseMonge(rng, m, n)
 	heavy := infHeavy(marray.RandomMonge(rng, m, n), m, n)
+	infRand := marray.RandomInfHeavyStaircase(rng, m, n)
 	return []rowCase{
 		{"dense", dense},
 		{"func", marray.Func{M: m, N: n, F: dense.At}},
 		{"inf-heavy", heavy},
 		{"inf-heavy-dense", marray.Materialize(heavy)},
 		{"ties", marray.RandomStaircaseMongeInt(rng, m, n, 2)},
+		// The generator variant of the inf-heavy family: tie-dense
+		// finite core under a falling boundary, plus its materialized
+		// +Inf-dense form so the scan kernels see literal +Inf runs.
+		{"inf-heavy-rand", infRand},
+		{"inf-heavy-rand-dense", marray.Materialize(infRand)},
 	}
 }
 
@@ -207,5 +232,89 @@ func TestNativeObsCounters(t *testing.T) {
 	if c.PoolLoops.Load() != 1 || c.PoolChunks.Load() < 2 {
 		t.Fatalf("PoolLoops = %d, PoolChunks = %d; want one fan-out loop of several chunks",
 			c.PoolLoops.Load(), c.PoolChunks.Load())
+	}
+}
+
+// TestNativeHugeAspectChunks is the regression test for the
+// huge-aspect serialization bug: before the merge-path area split, a
+// 1xn query had a single row block and therefore one chunk no matter
+// how wide the row, so every worker but one sat idle. The area split
+// must produce at least W chunks whenever the area permits, on both
+// the flat (1xn) and the tall (nx1) extreme, and the answers must stay
+// index-exact with the sequential solver.
+func TestNativeHugeAspectChunks(t *testing.T) {
+	prev := obs.Global()
+	o := obs.NewObserver()
+	obs.SetGlobal(o)
+	defer obs.SetGlobal(prev)
+
+	const workers = 4
+	pool := exec.NewPool(workers)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(9))
+
+	flat := marray.RandomMonge(rng, 1, 1<<16)
+	got := native.RowMinima(nil, pool, flat)
+	want := smawk.RowMinima(flat)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flat row %d: native %d, smawk %d", i, got[i], want[i])
+		}
+	}
+	c := o.Site("native")
+	if c.PoolChunks.Load() < workers {
+		t.Fatalf("1x%d query ran as %d chunks; want >= %d so no worker idles",
+			flat.Cols(), c.PoolChunks.Load(), workers)
+	}
+
+	chunksBefore := c.PoolChunks.Load()
+	tall := marray.RandomMonge(rng, 1<<16, 1)
+	got = native.RowMinima(nil, pool, tall)
+	want = smawk.RowMinima(tall)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tall row %d: native %d, smawk %d", i, got[i], want[i])
+		}
+	}
+	if delta := c.PoolChunks.Load() - chunksBefore; delta < workers {
+		t.Fatalf("%dx1 query ran as %d chunks; want >= %d", tall.Rows(), delta, workers)
+	}
+}
+
+// TestNativeColumnSplitExact pins the column-segment combine against
+// the sequential solvers on flat shapes that exercise every arm:
+// dense, Func-backed (the generic At loop), and staircase with blocked
+// tails (including fully blocked rows), at widths that do and do not
+// divide evenly into segments.
+func TestNativeColumnSplitExact(t *testing.T) {
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(10))
+
+	for _, shape := range [][2]int{{1, 1 << 14}, {2, 12289}, {3, 4099}, {5, 2048}} {
+		m, n := shape[0], shape[1]
+		d := marray.RandomMonge(rng, m, n)
+		got := native.RowMinima(nil, pool, d)
+		want := smawk.RowMinima(d)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dense %dx%d row %d: native %d, smawk %d", m, n, i, got[i], want[i])
+			}
+		}
+		f := marray.Func{M: m, N: n, F: d.At}
+		got = native.RowMinima(nil, pool, f)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("func %dx%d row %d: native %d, smawk %d", m, n, i, got[i], want[i])
+			}
+		}
+		st := marray.RandomStaircaseMonge(rng, m, n)
+		gotS := native.StaircaseRowMinima(nil, pool, st)
+		wantS := smawk.StaircaseRowMinima(st)
+		for i := range wantS {
+			if gotS[i] != wantS[i] {
+				t.Fatalf("stair %dx%d row %d: native %d, smawk %d", m, n, i, gotS[i], wantS[i])
+			}
+		}
 	}
 }

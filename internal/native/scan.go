@@ -4,57 +4,76 @@ import (
 	"math"
 
 	"monge/internal/marray"
+	"monge/internal/smawk"
 )
 
-// denseScanCols bounds the width at which a straight row scan beats the
-// SMAWK recursion on dense input: below it the O(rows*n) scan is all
-// sequential loads the hardware prefetches, while SMAWK's O(rows+n)
-// bound hides recursion and index-indirection constants. 32 columns of
-// float64 is four cache lines per row.
-const denseScanCols = 32
+// This file is the native backend's thin adapter onto the shared
+// branchless scan core in internal/smawk (scan.go): whole-row scans
+// for narrow dense inputs, and per-segment partial scans for the
+// merge-path column split that dispatch.go uses on huge-aspect inputs.
 
 // scanDenseMinima fills out[lo:hi] with the leftmost-minimum column of
-// each dense row, two passes per row over the zero-copy RowView: a
-// value pass using the min builtin (lowered to a branch-free MINSD-style
-// instruction on the common targets, so ties and data order cost no
-// mispredictions), then an index pass that stops at the first entry
-// equal to the minimum — which is the leftmost tie by construction.
+// each dense row via the shared branchless kernel over zero-copy row
+// views.
 func scanDenseMinima(d *marray.Dense, lo, hi int, out []int) {
-	for i := lo; i < hi; i++ {
-		row := d.RowView(i)
-		bv := row[0]
-		for _, v := range row[1:] {
-			bv = min(bv, v)
-		}
-		for j, v := range row {
-			if v == bv {
-				out[i] = j
-				break
-			}
-		}
-	}
+	smawk.ScanRowMinimaInto(d.RowView, lo, hi, out)
 }
 
-// scanDenseStairMinima is the staircase variant: blocked (+Inf) entries
-// never win, and a row with no finite entry yields -1, matching
-// smawk.StaircaseRowMinima. The value pass runs over the whole row —
-// +Inf entries are absorbed by min — so no boundary lookup is needed.
+// scanDenseStairMinima is the staircase variant: blocked (+Inf)
+// entries never win and a row with no finite entry yields -1, matching
+// smawk.StaircaseRowMinima.
 func scanDenseStairMinima(d *marray.Dense, lo, hi int, out []int) {
-	for i := lo; i < hi; i++ {
-		row := d.RowView(i)
-		out[i] = -1
-		bv := math.Inf(1)
-		for _, v := range row {
-			bv = min(bv, v)
+	smawk.ScanStairRowMinimaInto(d.RowView, lo, hi, out)
+}
+
+// segmentArgMin returns the leftmost-minimum column of row i of a
+// restricted to columns [c0, c1), as a global column index. Under
+// stair semantics, +Inf entries never win and -1 means the segment is
+// fully blocked. Dense rows run the branchless kernel on the segment
+// subslice; other representations pay one At per element, where the
+// interface call dominates and a plain compare loop is the right
+// shape.
+func segmentArgMin(a marray.Matrix, d *marray.Dense, stair bool, i, c0, c1 int) int {
+	if d != nil {
+		seg := d.RowView(i)[c0:c1]
+		if stair {
+			j := smawk.ArgMinFinite(seg)
+			if j < 0 {
+				return -1
+			}
+			return c0 + j
 		}
-		if math.IsInf(bv, 1) {
-			continue
-		}
-		for j, v := range row {
-			if v == bv {
-				out[i] = j
-				break
+		return c0 + smawk.ArgMin(seg)
+	}
+	if stair {
+		best, bv := -1, 0.0
+		for j := c0; j < c1; j++ {
+			v := a.At(i, j)
+			if math.IsInf(v, 1) {
+				continue
+			}
+			if best < 0 || v < bv {
+				best, bv = j, v
 			}
 		}
+		return best
 	}
+	best, bv := c0, a.At(i, c0)
+	for j := c0 + 1; j < c1; j++ {
+		if v := a.At(i, j); v < bv {
+			best, bv = j, v
+		}
+	}
+	return best
+}
+
+// ltTotal is the combine-step order: strict < extended so NaN never
+// displaces a real value (matching the kernel total order). Monge
+// inputs never contain NaN; the rule keeps segment combination
+// deterministic if a corrupt entry slips in.
+func ltTotal(a, b float64) bool {
+	if math.IsNaN(b) {
+		return !math.IsNaN(a)
+	}
+	return a < b
 }

@@ -91,7 +91,7 @@ func FuzzSMAWKMatchesBrute(f *testing.F) {
 		for _, a := range []marray.Matrix{
 			marray.RandomMonge(rng, m, n),
 			marray.RandomMongeInt(rng, m, n, 3),
-			marray.RandomMongeInt(rng, m, n, 2), // tie-dense
+			marray.RandomMongeInt(rng, m, n, 2),  // tie-dense
 			marray.RandomNearTieMonge(rng, m, n), // near-degenerate 1e-9 ties
 		} {
 			want := smawk.RowMinimaBrute(a)

@@ -36,6 +36,14 @@ func RowMaxima(a marray.Matrix) []int {
 // The native backend's block solvers use this to keep the per-query alloc
 // budget at the answer slice alone.
 func RowMinimaInto(a marray.Matrix, out []int) {
+	// Narrow dense arrays skip the recursion: the branchless row scan
+	// (scan.go) over zero-copy row views beats SMAWK's O(m+n) bound
+	// until the row no longer fits a handful of cache lines, and it
+	// applies the identical leftmost tie rule.
+	if d, ok := a.(*marray.Dense); ok && d.Cols() <= DenseScanCols {
+		ScanRowMinimaInto(d.RowView, 0, d.Rows(), out)
+		return
+	}
 	w := getWS()
 	defer putWS(w)
 	runInto(w, a, less, out)
@@ -54,6 +62,14 @@ func MongeRowMaxima(a marray.Matrix) []int {
 // MongeRowMaximaInto is MongeRowMaxima writing into a caller-provided
 // slice of length >= a.Rows(), allocation-free like RowMinimaInto.
 func MongeRowMaximaInto(a marray.Matrix, out []int) {
+	// Narrow dense arrays scan directly: ArgMax is already the leftmost
+	// maximum, so the reverse-and-remap detour below is unnecessary.
+	if d, ok := a.(*marray.Dense); ok && d.Cols() <= DenseScanCols {
+		for i := range out[:d.Rows()] {
+			out[i] = ArgMax(d.RowView(i))
+		}
+		return
+	}
 	// In the reversed array, the leftmost maximum corresponds to the
 	// rightmost maximum of a. To recover a's leftmost maxima we instead
 	// search the reversed array for its rightmost maxima.

@@ -31,6 +31,13 @@ func StaircaseRowMinimaInto(a marray.Matrix, out []int) {
 	if m == 0 {
 		return
 	}
+	// Narrow dense arrays take the branchless finite-minimum scan: +Inf
+	// (blocked) entries lose by key order rather than by boundary
+	// bookkeeping, so no BoundaryOf pass is needed either.
+	if d, ok := a.(*marray.Dense); ok && n <= DenseScanCols {
+		ScanStairRowMinimaInto(d.RowView, 0, m, out)
+		return
+	}
 	w := getWS()
 	defer putWS(w)
 	f := w.ints.Alloc(m)

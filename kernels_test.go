@@ -1,0 +1,98 @@
+package monge
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// BENCH_kernels.json (schema monge-kernels/v1) is the committed
+// scan-kernel latency baseline: the branchless argmin/argmax kernels of
+// internal/smawk against their scalar references (BenchmarkScanKernels)
+// and the end-to-end BatchDriver scan shapes the kernels serve
+// (BenchmarkBackendKernelScans). The kernel-perf-smoke CI job re-runs
+// both benchmarks and enforces each entry's ci_ns_per_op ceiling with
+// 20% tolerance, plus the headline ratio — argmin-twopass over
+// argmin-branchless at n=4096 — from its own fresh run.
+// TestKernelBaseline keeps the committed file honest: complete entries,
+// ceilings that do not undercut the recorded numbers, and a recorded
+// headline ratio that actually demonstrates the committed acceptance.
+type kernelBaseline struct {
+	Schema           string  `json:"schema"`
+	CPUs             int     `json:"cpus"`
+	MinArgminSpeedup float64 `json:"min_argmin_speedup_n4096"`
+	Benchmarks       []struct {
+		Name    string  `json:"name"`
+		NSPerOp float64 `json:"ns_per_op"`
+		CINSOp  float64 `json:"ci_ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+func TestKernelBaseline(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_kernels.json")
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var b kernelBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("parse BENCH_kernels.json: %v", err)
+	}
+	if b.Schema != "monge-kernels/v1" {
+		t.Fatalf("BENCH_kernels.json schema %q, want monge-kernels/v1", b.Schema)
+	}
+	if b.CPUs < 1 {
+		t.Fatalf("cpus=%d; the baseline must name its recording machine", b.CPUs)
+	}
+	if b.MinArgminSpeedup < 1.5 {
+		t.Fatalf("min_argmin_speedup_n4096=%g; the acceptance floor is 1.5 or stricter",
+			b.MinArgminSpeedup)
+	}
+	byName := map[string]float64{}
+	for _, row := range b.Benchmarks {
+		if row.NSPerOp <= 0 || row.CINSOp <= 0 {
+			t.Errorf("%s: ns_per_op=%g ci_ns_per_op=%g, want positive", row.Name, row.NSPerOp, row.CINSOp)
+		}
+		if row.CINSOp < row.NSPerOp {
+			t.Errorf("%s: ci ceiling %g below the recorded %g — the smoke job would flag the recording run itself",
+				row.Name, row.CINSOp, row.NSPerOp)
+		}
+		if !strings.HasPrefix(row.Name, "BenchmarkScanKernels/") &&
+			!strings.HasPrefix(row.Name, "BenchmarkBackendKernelScans/") {
+			t.Errorf("%s: unrecognized benchmark name", row.Name)
+		}
+		byName[row.Name] = row.NSPerOp
+	}
+	// Every gated shape must be present: renaming a sub-benchmark must
+	// not silently drop it from the smoke job.
+	for _, kernel := range []string{
+		"argmin-twopass", "argmin-branchless",
+		"argmax-branchy-skipinf", "argmax-branchless-skipinf",
+		"argmax-branchy-hostile", "argmax-branchless-hostile",
+	} {
+		for _, n := range []string{"32", "256", "4096"} {
+			name := "BenchmarkScanKernels/" + kernel + "/n=" + n
+			if _, ok := byName[name]; !ok {
+				t.Errorf("baseline has no %s entry; the benchmark ladder runs it", name)
+			}
+		}
+	}
+	for _, be := range []string{"pram", "native"} {
+		for _, shape := range []string{"narrow/4096x32", "huge-aspect/1x65536", "huge-aspect/65536x1"} {
+			name := "BenchmarkBackendKernelScans/backend=" + be + "/" + shape
+			if _, ok := byName[name]; !ok {
+				t.Errorf("baseline has no %s entry; the benchmark ladder runs it", name)
+			}
+		}
+	}
+	// The acceptance the recording must demonstrate: the branchless
+	// argmin beats the two-pass scalar reference at the largest size.
+	ref := byName["BenchmarkScanKernels/argmin-twopass/n=4096"]
+	krn := byName["BenchmarkScanKernels/argmin-branchless/n=4096"]
+	if ref > 0 && krn > 0 {
+		if ratio := ref / krn; ratio < b.MinArgminSpeedup {
+			t.Errorf("recorded argmin speedup at n=4096 = %.2f, want >= %.1f — re-record BENCH_kernels.json",
+				ratio, b.MinArgminSpeedup)
+		}
+	}
+}

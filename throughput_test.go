@@ -69,8 +69,8 @@ func TestThroughputBaseline(t *testing.T) {
 	if b.MinScaling < 2.0 {
 		t.Fatalf("min_scaling_w4_over_w1=%g; the acceptance floor is 2.0 or stricter", b.MinScaling)
 	}
-	if b.MinNativeRatio < 5.0 {
-		t.Fatalf("min_native_over_pram_w1=%g; the acceptance floor is 5.0 or stricter", b.MinNativeRatio)
+	if b.MinNativeRatio < 6.0 {
+		t.Fatalf("min_native_over_pram_w1=%g; the acceptance floor is 6.0 or stricter", b.MinNativeRatio)
 	}
 	// Split the ladders by benchmark name: mixing backends into one
 	// workers->qps map would corrupt both ratio checks.
