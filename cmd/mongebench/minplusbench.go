@@ -1,0 +1,212 @@
+package main
+
+// The -minplus mode records the Monge (min,+) multiplication engine
+// (internal/minplus) against the naive O(n³) product, and the M-link
+// path solver against the O(n²M) reference DP, at n ∈ {256, 1024,
+// 4096}. The naive multiply is measured only up to n = 1024 — the 1-CPU
+// O(n³) cost at 4096 is minutes, and the gate lives at 1024 anyway.
+// Every timed product is witness-spot-checked (leftmost argmin, full
+// candidate scan per sampled entry) before its latency is recorded, and
+// the sizes with a naive run are additionally compared value- and
+// witness-exact over the full product. The ladder is written as
+// BENCH_minplus.json (schema monge-minplus/v1) and gated by the root
+// TestMinPlusBaseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"monge/internal/batch"
+	"monge/internal/marray"
+	"monge/internal/merr"
+	"monge/internal/minplus"
+)
+
+// minplusSchema is the version tag of the -minplus-out JSON.
+const minplusSchema = "monge-minplus/v1"
+
+var (
+	minplusOn  bool
+	minplusOut string
+)
+
+// minplusPoint is one ladder size: the engine and naive multiply
+// latencies, the product's core (run) sparsity, and the M-link solver
+// against its reference DP.
+type minplusPoint struct {
+	N        int   `json:"n"`
+	EngineNS int64 `json:"engine_ns"`
+	// NaiveNS is 0 when the naive multiply was skipped (n > 1024).
+	NaiveNS         int64   `json:"naive_ns"`
+	EngineOverNaive float64 `json:"engine_over_naive"`
+	// Runs is the product's core size: total witness runs across all
+	// rows, against the n*n a dense representation would store.
+	Runs         int     `json:"runs"`
+	DenseCells   int     `json:"dense_cells"`
+	MLinkM       int     `json:"mlink_m"`
+	MLinkNS      int64   `json:"mlink_ns"`
+	MLinkRefNS   int64   `json:"mlink_ref_ns"`
+	MLinkSpeedup float64 `json:"mlink_speedup"`
+}
+
+// minplusLadder is the committed BENCH_minplus.json document.
+type minplusLadder struct {
+	Schema string `json:"schema"`
+	CPUs   int    `json:"cpus"`
+	Seed   int64  `json:"seed"`
+	// GateN and MinEngineOverNaive are the acceptance gate
+	// TestMinPlusBaseline enforces: at n = GateN the SMAWK-backed engine
+	// must beat the naive O(n³) multiply by at least this factor. The
+	// reduction is algorithmic — O(n²) vs O(n³) evaluations — so the
+	// ratio holds on one CPU.
+	GateN              int            `json:"gate_n"`
+	MinEngineOverNaive float64        `json:"min_engine_over_naive"`
+	Points             []minplusPoint `json:"points"`
+}
+
+// minplusExp runs the fixed ladder n ∈ {256, 1024, 4096} on the
+// native-backend engine.
+func minplusExp() {
+	rng := rand.New(rand.NewSource(seed))
+	ladder := minplusLadder{
+		Schema:             minplusSchema,
+		CPUs:               runtime.NumCPU(),
+		Seed:               seed,
+		GateN:              1024,
+		MinEngineOverNaive: 20,
+	}
+
+	printf("\n== Monge (min,+) multiplication: SMAWK engine vs naive O(n³), M-link (M=16) vs reference DP ==\n")
+	printf("%6s %12s %12s %9s %11s %12s %12s %9s\n",
+		"n", "engine", "naive", "ratio", "runs/cell", "mlink", "mlink-ref", "ratio")
+
+	for _, n := range []int{256, 1024, 4096} {
+		a := marray.RandomMongeInt(rng, n, n, 8)
+		b := marray.RandomMongeInt(rng, n, n, 8)
+
+		e := minplus.New(batch.BackendNative)
+		if benchCtx != nil {
+			e.Driver().SetContext(benchCtx)
+		}
+		t0 := time.Now()
+		p := e.Multiply(a, b)
+		engineNS := time.Since(t0).Nanoseconds()
+
+		// Witness spot-checks before the latency counts: each sampled
+		// entry's stored witness must be the leftmost argmin over a full
+		// candidate scan.
+		spotCheckProduct(p, a, b, n, rng)
+
+		pt := minplusPoint{
+			N:          n,
+			EngineNS:   engineNS,
+			Runs:       p.Runs(),
+			DenseCells: n * n,
+			MLinkM:     16,
+		}
+
+		if n <= 1024 {
+			t0 = time.Now()
+			want, wit := minplus.MultiplyNaive(a, b)
+			pt.NaiveNS = time.Since(t0).Nanoseconds()
+			pt.EngineOverNaive = float64(pt.NaiveNS) / float64(pt.EngineNS)
+			for i := 0; i < n; i++ {
+				for k := 0; k < n; k++ {
+					if p.At(i, k) != want.At(i, k) || p.Witness(i, k) != wit[i][k] {
+						merr.Throwf(merr.ErrNotMonge,
+							"minplusbench: n=%d product diverges from naive at (%d,%d)", n, i, k)
+					}
+				}
+			}
+		}
+		e.Close()
+
+		// M-link: the engine's solver against the O(n²M) reference DP,
+		// exact cost agreement required. The weight is a convex-gap Monge
+		// family with integer entries, so every strategy's float sums are
+		// exact regardless of association order.
+		off := make([]float64, n+1)
+		for i := range off {
+			off[i] = float64(rng.Intn(512))
+		}
+		w := minplus.Weight(func(i, j int) float64 {
+			g := float64(j - i)
+			return off[i] + off[j] + g*g
+		})
+		eng := minplus.New(batch.BackendNative)
+		t0 = time.Now()
+		cost, path := eng.MLinkPath(n, w, pt.MLinkM)
+		pt.MLinkNS = time.Since(t0).Nanoseconds()
+		eng.Close()
+		t0 = time.Now()
+		refCost, _ := minplus.MLinkBrute(n, w, pt.MLinkM)
+		pt.MLinkRefNS = time.Since(t0).Nanoseconds()
+		pt.MLinkSpeedup = float64(pt.MLinkRefNS) / float64(pt.MLinkNS)
+		if math.Abs(cost-refCost) > 1e-6*(1+math.Abs(refCost)) {
+			merr.Throwf(merr.ErrNotMonge,
+				"minplusbench: n=%d M-link cost %g, reference DP %g", n, cost, refCost)
+		}
+		if len(path) != pt.MLinkM+1 || path[0] != 0 || path[pt.MLinkM] != n {
+			merr.Throwf(merr.ErrNotMonge, "minplusbench: n=%d malformed M-link path (len %d)", n, len(path))
+		}
+
+		ladder.Points = append(ladder.Points, pt)
+		naiveCol, ratioCol := "skipped", "-"
+		if pt.NaiveNS > 0 {
+			naiveCol = time.Duration(pt.NaiveNS).String()
+			ratioCol = fmt.Sprintf("%.1fx", pt.EngineOverNaive)
+		}
+		printf("%6d %12v %12s %9s %11.4f %12v %12v %8.1fx\n",
+			n, time.Duration(pt.EngineNS), naiveCol, ratioCol,
+			float64(pt.Runs)/float64(pt.DenseCells),
+			time.Duration(pt.MLinkNS), time.Duration(pt.MLinkRefNS), pt.MLinkSpeedup)
+	}
+
+	if minplusOut != "" {
+		if err := writeMinplusLadder(&ladder, minplusOut); err != nil {
+			merr.Throwf(merr.ErrNotMonge, "minplusbench: writing -minplus-out: %v", err)
+		}
+	}
+}
+
+// spotCheckProduct verifies ~64 sampled entries of p: the stored
+// witness must be the leftmost argmin of a full O(n) candidate scan.
+func spotCheckProduct(p *minplus.Product, a, b marray.Matrix, n int, rng *rand.Rand) {
+	q := a.Cols()
+	for s := 0; s < 64; s++ {
+		i, k := rng.Intn(n), rng.Intn(n)
+		best, bj := math.Inf(1), -1
+		for j := 0; j < q; j++ {
+			if v := a.At(i, j) + b.At(j, k); v < best {
+				best, bj = v, j
+			}
+		}
+		if got := p.Witness(i, k); got != bj {
+			merr.Throwf(merr.ErrNotMonge,
+				"minplusbench: n=%d witness(%d,%d) = %d, leftmost scan says %d", n, i, k, got, bj)
+		}
+		if bj >= 0 && p.At(i, k) != best {
+			merr.Throwf(merr.ErrNotMonge,
+				"minplusbench: n=%d value(%d,%d) = %g, scan says %g", n, i, k, p.At(i, k), best)
+		}
+	}
+}
+
+// writeMinplusLadder dumps the ladder as indented JSON ("-" = stdout).
+func writeMinplusLadder(l *minplusLadder, path string) error {
+	buf, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = out.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMinPlusFlagValidation pins the -minplus flag contract: the output
+// flag is meaningless without the mode, and the mode is exclusive with
+// the other top-level modes. Invalid combinations exit 2 (usage) with a
+// message naming the offending flag, before any experiment runs.
+func TestMinPlusFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"out-without-mode", []string{"-minplus-out", "x.json"}, "-minplus-out requires -minplus"},
+		{"with-index", []string{"-minplus", "-index"}, "its own mode"},
+		{"with-serve", []string{"-minplus", "-serve"}, "its own mode"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := run(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr does not explain the rejection (want %q):\n%s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestMinPlusTimeoutExitsNonzero: the ladder honors -timeout with the
+// standard non-zero abort, like every other mode.
+func TestMinPlusTimeoutExitsNonzero(t *testing.T) {
+	code, _, stderr := run(t, "-minplus", "-timeout", "1ns")
+	if code == 0 {
+		t.Fatal("-minplus -timeout 1ns exited 0; cancelled runs must fail")
+	}
+	if !strings.Contains(stderr, "aborted") {
+		t.Fatalf("stderr does not report the abort:\n%s", stderr)
+	}
+}

@@ -259,6 +259,44 @@ func (d *Driver) RowMinima(a marray.Matrix) []int {
 	return core.RowMinima(d.machineFor(a.Cols()), a)
 }
 
+// RowMinimaInto is RowMinima writing into a caller-provided slice of
+// length >= a.Rows(). On the native backend the call allocates nothing;
+// on the PRAM backend the simulated machine's answer is copied into out,
+// so streaming callers (the min-plus multiplication engine issues one
+// same-shape query per output row) keep a single answer buffer either
+// way.
+func (d *Driver) RowMinimaInto(a marray.Matrix, out []int) {
+	checkRowQuery(a)
+	checkOut(a, out)
+	if d.backend == BackendNative {
+		native.RowMinimaInto(d.ctx, d.nativePool(), a, out)
+		return
+	}
+	copy(out, core.RowMinima(d.machineFor(a.Cols()), a))
+}
+
+// StaircaseRowMinimaInto is StaircaseRowMinima writing into a
+// caller-provided slice of length >= a.Rows().
+func (d *Driver) StaircaseRowMinimaInto(a marray.Matrix, out []int) {
+	checkRowQuery(a)
+	checkOut(a, out)
+	if d.backend == BackendNative {
+		native.StaircaseRowMinimaInto(d.ctx, d.nativePool(), a, out)
+		return
+	}
+	copy(out, core.StaircaseRowMinima(d.machineFor(a.Cols()), a))
+}
+
+// checkOut rejects an answer slice shorter than the query's row count,
+// so both backends fail with the same typed error instead of a native
+// bounds panic or a silent PRAM-side truncation.
+func checkOut(a marray.Matrix, out []int) {
+	if len(out) < a.Rows() {
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"batch: answer slice holds %d rows, query has %d", len(out), a.Rows())
+	}
+}
+
 // RowMinimaStats is RowMinima plus the per-query cost snapshot.
 func (d *Driver) RowMinimaStats(a marray.Matrix) (idx []int, st QueryStats) {
 	st = d.QueryStats(a.Cols(), func() { idx = d.RowMinima(a) })

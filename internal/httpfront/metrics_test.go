@@ -1,0 +1,89 @@
+package httpfront
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"monge/internal/obs"
+)
+
+func getMetrics(t *testing.T) (*http.Response, string) {
+	t.Helper()
+	ts, _, _ := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestMetricsExposition pins the Prometheus text format: version 0.0.4
+// content type, # TYPE headers, and one monge_<counter>{site="..."}
+// sample per site with the counter's value, sites and metrics sorted.
+func TestMetricsExposition(t *testing.T) {
+	old := obs.Global()
+	t.Cleanup(func() { obs.SetGlobal(old) })
+	o := obs.NewObserver()
+	o.Site("kernel").Supersteps.Add(5)
+	o.Site("kernel").QueriesServed.Add(7)
+	o.Site("batch").Supersteps.Add(11)
+	obs.SetGlobal(o)
+
+	resp, body := getMetrics(t)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE monge_supersteps gauge\n",
+		"monge_supersteps{site=\"kernel\"} 5\n",
+		"monge_supersteps{site=\"batch\"} 11\n",
+		"# TYPE monge_queries_served gauge\n",
+		"monge_queries_served{site=\"kernel\"} 7\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("body missing %q:\n%s", want, body)
+		}
+	}
+	// Sites under one metric are emitted in sorted order.
+	if strings.Index(body, `supersteps{site="batch"}`) > strings.Index(body, `supersteps{site="kernel"}`) {
+		t.Errorf("sites not sorted:\n%s", body)
+	}
+	// Every sample line parses as name{site="..."} value with our prefix.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "monge_") || !strings.Contains(line, `{site="`) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestMetricsNoObserver: with observability off the endpoint stays a
+// valid scrape target — 200 with the right content type and no samples.
+func TestMetricsNoObserver(t *testing.T) {
+	old := obs.Global()
+	t.Cleanup(func() { obs.SetGlobal(old) })
+	obs.SetGlobal(nil)
+
+	resp, body := getMetrics(t)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	if body != "" {
+		t.Fatalf("expected empty body, got %q", body)
+	}
+}

@@ -1,0 +1,277 @@
+// Package minplus implements Monge (min,+) matrix multiplication and
+// the shortest M-link path solver built on it.
+//
+// # The reduction
+//
+// The (min,+) product of an m x q matrix A and a q x r matrix B is
+// C[i][k] = min_j A[i][j] + B[j][k]. Fixing an output row i and
+// defining the r x q slice W_i[k][j] = A[i][j] + B[j][k], row k of W_i
+// lists the candidates of output entry C[i][k] — so row i of the
+// product is exactly one row-minima query on W_i. The A-row terms
+// cancel in every 2x2 minor of W_i, so W_i is Monge whenever B is, and
+// the whole multiplication becomes a stream of m same-shape totally
+// monotone row-minima queries: O(m(q+r)) evaluations via SMAWK against
+// the naive O(mqr). The queries run through an internal/batch Driver —
+// one retained machine per shape class on the PRAM backend, the
+// work-stealing block kernels of internal/native otherwise — and every
+// answer lands in one reused witness buffer, so the engine allocates
+// only the product's run arrays.
+//
+// # Blocked (+Inf) entries
+//
+// Two +Inf patterns arise and are both handled without padding:
+//
+//   - Staircase factors (right/down-closed +Inf regions): slice row k
+//     then has a finite prefix and a blocked suffix whose boundary is
+//     nonincreasing in k, i.e. W_i is staircase-Monge, and the engine
+//     routes the slice through the staircase row-minima kernels.
+//   - Upper-triangular DAG matrices (the M-link weight matrices
+//     D[i][j] = w(i,j) for i < j, +Inf otherwise, and their ⊗ powers):
+//     slice row k is finite exactly on a window whose left edge is
+//     fixed and whose right edge grows with k. Such slices are totally
+//     monotone for leftmost minima (the finite windows are Monge and
+//     grow downward), so the plain SMAWK route applies.
+//
+// Wherever C[i][k] = +Inf the witness is normalized to -1; the naive
+// oracle uses the identical convention, which is what makes witness
+// agreement index-exact across naive/PRAM/native even on blocked
+// entries.
+//
+// # Core-sparse products
+//
+// Because each W_i is totally monotone, the witness j*(i,k) is
+// nondecreasing in k along every output row; a Product therefore
+// stores only the run breaks — the columns where the argmin row of B
+// changes — per arXiv 2408.04613's core representation. A product of
+// two n x n Monge matrices carries at most min(q,r)+1 runs per row and
+// typically far fewer, so repeated ⊗-squaring (the M-link solver)
+// stays subquadratic in space while At/Witness remain O(lg runs)
+// binary searches.
+package minplus
+
+import (
+	"math"
+
+	"monge/internal/batch"
+	"monge/internal/marray"
+	"monge/internal/merr"
+	"monge/internal/pram"
+)
+
+// inf is the blocked-entry sentinel, shared with marray.
+var inf = math.Inf(1)
+
+// Engine multiplies Monge matrices through a batch.Driver. An Engine
+// is not goroutine-safe (it shares the driver's machines and its own
+// witness scratch); concurrent callers use one Engine per goroutine,
+// exactly like batch.Driver. The zero value is not usable; construct
+// with New or NewWith.
+type Engine struct {
+	d     *batch.Driver
+	owned bool
+	wit   []int // reused per-row witness buffer
+}
+
+// New returns an Engine owning a private CRCW-mode driver on the given
+// backend. Close releases the driver's retained machines.
+func New(be batch.Backend) *Engine {
+	return &Engine{d: batch.NewWithBackend(pram.CRCW, be), owned: true}
+}
+
+// NewWith returns an Engine borrowing d — the serving layer hands each
+// pool worker's private driver to a per-worker engine. Close leaves a
+// borrowed driver untouched.
+func NewWith(d *batch.Driver) *Engine {
+	return &Engine{d: d}
+}
+
+// Driver exposes the underlying driver (for fault/context wiring in
+// tests and benches).
+func (e *Engine) Driver() *batch.Driver { return e.d }
+
+// Close releases an owned driver's retained machines; borrowed drivers
+// stay with their owner. The Engine is reusable after Close.
+func (e *Engine) Close() {
+	if e.owned {
+		e.d.Close()
+	}
+}
+
+// Multiply returns the (min,+) product A ⊗ B as a run-sparse Product.
+// A must be m x q and B q x r; both Monge (the facade validates, the
+// engine trusts). Factors carrying blocked rows — a Staircase
+// implementation or rows ending in +Inf — route through the staircase
+// kernels; fully finite factors through plain SMAWK.
+func (e *Engine) Multiply(a, b marray.Matrix) *Product {
+	checkMul(a, b)
+	return e.multiply(a, b, hasBlockedRows(a) || hasBlockedRows(b))
+}
+
+// checkMul rejects incompatible or degenerate shapes at the engine
+// seam with the shared typed error.
+func checkMul(a, b marray.Matrix) {
+	if a.Cols() != b.Rows() {
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"minplus: inner dimensions %d and %d differ", a.Cols(), b.Rows())
+	}
+	if a.Rows() <= 0 || a.Cols() <= 0 || b.Cols() <= 0 {
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"minplus: %dx%d ⊗ %dx%d; all dimensions must be positive",
+			a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+}
+
+// hasBlockedRows reports whether any row of x ends in +Inf — the
+// staircase signature (a right/down-closed blocked region always
+// reaches the last column of its rows). O(rows) entry probes, against
+// the O(rows·cols) a full scan would cost.
+func hasBlockedRows(x marray.Matrix) bool {
+	if s, ok := x.(marray.Staircase); ok {
+		// Boundaries are nonincreasing: the last row has the smallest.
+		return s.Boundary(x.Rows()-1) < x.Cols()
+	}
+	n := x.Cols()
+	for i := x.Rows() - 1; i >= 0; i-- {
+		if math.IsInf(x.At(i, n-1), 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// multiply is the shared core: one row-minima query per output row on
+// the slice W_i[k][j] = A[i][j] + B[j][k], stair selecting the
+// staircase kernels. The M-link solver calls it with stair=false on
+// its triangular matrices (plain total monotonicity, see the package
+// comment).
+func (e *Engine) multiply(a, b marray.Matrix, stair bool) *Product {
+	m, q, r := a.Rows(), a.Cols(), b.Cols()
+	if cap(e.wit) < r {
+		e.wit = make([]int, r)
+	}
+	wit := e.wit[:r]
+
+	p := &Product{
+		m: m, r: r, a: a, b: b,
+		rowStart: make([]int32, m+1),
+		runK:     make([]int32, 0, 2*m),
+		runJ:     make([]int32, 0, 2*m),
+	}
+	// One slice view serves every output row: the interface conversion
+	// and the closure are hoisted, so the loop body allocates nothing.
+	row := 0
+	var wi marray.Matrix = marray.Func{M: r, N: q, F: func(k, j int) float64 {
+		return a.At(row, j) + b.At(j, k)
+	}}
+	for i := 0; i < m; i++ {
+		row = i
+		if stair {
+			e.d.StaircaseRowMinimaInto(wi, wit)
+		} else {
+			e.d.RowMinimaInto(wi, wit)
+		}
+		// Normalize +Inf entries to witness -1 and run-length encode:
+		// a run break wherever the argmin row of B changes.
+		prev := int32(math.MinInt32)
+		for k := 0; k < r; k++ {
+			j := int32(wit[k])
+			if j >= 0 && math.IsInf(a.At(i, int(j))+b.At(int(j), k), 1) {
+				j = -1
+			}
+			if j != prev {
+				p.runK = append(p.runK, int32(k))
+				p.runJ = append(p.runJ, j)
+				prev = j
+			}
+		}
+		p.rowStart[i+1] = int32(len(p.runK))
+	}
+	return p
+}
+
+// Product is the run-sparse (core) representation of a (min,+)
+// product: per output row, the columns where the witness (the argmin
+// row of B) changes, plus the retained factors. Entries are recomputed
+// on demand as A[i][j*] + B[j*][k], so a Product implements
+// marray.Matrix and can itself be a factor of the next multiplication
+// — repeated squaring never materializes an n x n value array. Safe
+// for concurrent At/Witness calls, like every Matrix.
+type Product struct {
+	m, r int
+	a, b marray.Matrix
+	// rowStart[i]..rowStart[i+1] index row i's runs in runK/runJ:
+	// runK holds each run's first column, runJ its witness (-1 for a
+	// +Inf run).
+	rowStart []int32
+	runK     []int32
+	runJ     []int32
+}
+
+// Rows returns the row count m of the product.
+func (p *Product) Rows() int { return p.m }
+
+// Cols returns the column count r of the product.
+func (p *Product) Cols() int { return p.r }
+
+// At returns C[i][k] = A[i][j*] + B[j*][k] for the stored witness j*,
+// or +Inf on a blocked entry. O(lg runs-in-row) by binary search.
+func (p *Product) At(i, k int) float64 {
+	j := p.Witness(i, k)
+	if j < 0 {
+		return inf
+	}
+	return p.a.At(i, j) + p.b.At(j, k)
+}
+
+// Witness returns the leftmost argmin row of B for entry (i, k) — the
+// j attaining C[i][k], identical to the naive oracle's leftmost scan —
+// or -1 where C[i][k] = +Inf.
+func (p *Product) Witness(i, k int) int {
+	if i < 0 || i >= p.m || k < 0 || k >= p.r {
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"minplus: Witness(%d, %d) out of range for %dx%d product", i, k, p.m, p.r)
+	}
+	lo, hi := p.rowStart[i], p.rowStart[i+1] // invariant: runK[lo] <= k < runK[hi]
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if int(p.runK[mid]) <= k {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return int(p.runJ[lo])
+}
+
+// Runs returns the total run count across all rows — the core size the
+// sparsity gate measures. A dense representation would be m*r.
+func (p *Product) Runs() int { return len(p.runK) }
+
+// Dense materializes the product's values (blocked entries +Inf).
+func (p *Product) Dense() *marray.Dense { return marray.Materialize(p) }
+
+// MultiplyNaive is the O(m·q·r) reference oracle: values and witnesses
+// by exhaustive leftmost scan, with the same conventions as the engine
+// (strict < keeps the leftmost minimum; witness -1 and value +Inf when
+// no finite candidate exists).
+func MultiplyNaive(a, b marray.Matrix) (*marray.Dense, [][]int) {
+	checkMul(a, b)
+	m, q, r := a.Rows(), a.Cols(), b.Cols()
+	c := marray.NewDense(m, r)
+	wit := make([][]int, m)
+	wb := make([]int, m*r)
+	for i := 0; i < m; i++ {
+		wit[i] = wb[i*r : (i+1)*r : (i+1)*r]
+		for k := 0; k < r; k++ {
+			best, bj := inf, -1
+			for j := 0; j < q; j++ {
+				if v := a.At(i, j) + b.At(j, k); v < best {
+					best, bj = v, j
+				}
+			}
+			c.Set(i, k, best)
+			wit[i][k] = bj
+		}
+	}
+	return c, wit
+}

@@ -1,0 +1,178 @@
+package minplus
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"monge/internal/batch"
+	"monge/internal/marray"
+	"monge/internal/merr"
+	"monge/internal/pram"
+)
+
+// backends enumerates both execution engines; every differential test
+// runs on each.
+var backends = []struct {
+	name string
+	be   batch.Backend
+}{
+	{"pram", batch.BackendPRAM},
+	{"native", batch.BackendNative},
+}
+
+// mulPair holds one test instance: both factors Monge (possibly
+// staircase-Monge).
+type mulPair struct {
+	name string
+	a, b marray.Matrix
+}
+
+// testPairs builds the factor families the multiplication suite runs:
+// dense and implicit Monge, tie-rich integer Monge, staircase on
+// either or both sides, inf-heavy staircases, and huge-aspect shapes.
+func testPairs(rng *rand.Rand) []mulPair {
+	fn := func(d *marray.Dense) marray.Matrix {
+		return marray.Func{M: d.Rows(), N: d.Cols(), F: d.At}
+	}
+	stairA := marray.RandomStaircaseMongeInt(rng, 20, 16, 3)
+	infHeavy := marray.RandomInfHeavyStaircase(rng, 24, 18)
+	return []mulPair{
+		{"dense-square", marray.RandomMonge(rng, 24, 24), marray.RandomMonge(rng, 24, 24)},
+		{"dense-rect", marray.RandomMonge(rng, 17, 29), marray.RandomMonge(rng, 29, 11)},
+		{"int-ties", marray.RandomMongeInt(rng, 23, 23, 2), marray.RandomMongeInt(rng, 23, 23, 2)},
+		{"near-tie", marray.RandomNearTieMonge(rng, 19, 21), marray.RandomNearTieMonge(rng, 21, 15)},
+		{"func-backed", fn(marray.RandomMonge(rng, 16, 20)), fn(marray.RandomMonge(rng, 20, 16))},
+		{"stair-second", marray.RandomMongeInt(rng, 18, 22, 3), marray.RandomStaircaseMongeInt(rng, 22, 17, 3)},
+		{"stair-first", stairA, marray.RandomMongeInt(rng, 16, 19, 3)},
+		{"stair-both", marray.RandomStaircaseMongeInt(rng, 15, 18, 2), marray.RandomStaircaseMongeInt(rng, 18, 14, 2)},
+		{"inf-heavy", marray.RandomMongeInt(rng, 12, 24, 2), infHeavy},
+		{"row-vector", marray.RandomMonge(rng, 1, 33), marray.RandomMonge(rng, 33, 27)},
+		{"col-vector", marray.RandomMonge(rng, 31, 29), marray.RandomMonge(rng, 29, 1)},
+		{"inner-one", marray.RandomMonge(rng, 13, 1), marray.RandomMonge(rng, 1, 13)},
+	}
+}
+
+// checkAgainstNaive asserts value- and witness-exactness of a Product
+// against the naive oracle.
+func checkAgainstNaive(t *testing.T, p *Product, a, b marray.Matrix) {
+	t.Helper()
+	want, wit := MultiplyNaive(a, b)
+	if p.Rows() != want.Rows() || p.Cols() != want.Cols() {
+		t.Fatalf("product is %dx%d, want %dx%d", p.Rows(), p.Cols(), want.Rows(), want.Cols())
+	}
+	for i := 0; i < p.Rows(); i++ {
+		for k := 0; k < p.Cols(); k++ {
+			gv, wv := p.At(i, k), want.At(i, k)
+			if gv != wv && !(math.IsInf(gv, 1) && math.IsInf(wv, 1)) {
+				t.Fatalf("C[%d][%d] = %g, naive %g", i, k, gv, wv)
+			}
+			if gj, wj := p.Witness(i, k), wit[i][k]; gj != wj {
+				t.Fatalf("witness[%d][%d] = %d, naive %d (value %g)", i, k, gj, wj, wv)
+			}
+		}
+	}
+}
+
+// TestMultiplyMatchesNaive is the core differential: every factor
+// family, both backends, value- and witness-exact against the oracle.
+func TestMultiplyMatchesNaive(t *testing.T) {
+	for _, bk := range backends {
+		t.Run(bk.name, func(t *testing.T) {
+			e := New(bk.be)
+			defer e.Close()
+			rng := rand.New(rand.NewSource(61))
+			for _, tc := range testPairs(rng) {
+				t.Run(tc.name, func(t *testing.T) {
+					checkAgainstNaive(t, e.Multiply(tc.a, tc.b), tc.a, tc.b)
+				})
+			}
+		})
+	}
+}
+
+// TestProductAsFactor pins the squaring story: a run-sparse Product is
+// itself a valid Monge factor, and chained engine products agree with
+// chained naive products entry for entry. Integer factors keep float
+// addition association irrelevant.
+func TestProductAsFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := marray.RandomMongeInt(rng, 20, 20, 3)
+	b := marray.RandomMongeInt(rng, 20, 20, 3)
+	c := marray.RandomMongeInt(rng, 20, 20, 3)
+	e := New(batch.BackendNative)
+	defer e.Close()
+
+	ab := e.Multiply(a, b)
+	abc := e.Multiply(ab, c)
+	nAB, _ := MultiplyNaive(a, b)
+	checkAgainstNaive(t, abc, nAB, c)
+
+	// Core sparsity: the run representation must undercut the dense
+	// m*r footprint on random Monge inputs.
+	if ab.Runs() >= ab.Rows()*ab.Cols() {
+		t.Errorf("A⊗B carries %d runs, no sparser than dense %d", ab.Runs(), ab.Rows()*ab.Cols())
+	}
+	// Dense materialization round-trips.
+	d := abc.Dense()
+	for i := 0; i < d.Rows(); i++ {
+		for k := 0; k < d.Cols(); k++ {
+			if d.At(i, k) != abc.At(i, k) {
+				t.Fatalf("Dense()[%d][%d] = %g, product says %g", i, k, d.At(i, k), abc.At(i, k))
+			}
+		}
+	}
+}
+
+// TestMultiplyErrors pins the typed error contract of the engine seam.
+func TestMultiplyErrors(t *testing.T) {
+	e := New(batch.BackendNative)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(3))
+	tryMul := func(a, b marray.Matrix) (err error) {
+		defer merr.Catch(&err)
+		e.Multiply(a, b)
+		return nil
+	}
+	if err := tryMul(marray.RandomMonge(rng, 4, 5), marray.RandomMonge(rng, 4, 5)); !errors.Is(err, merr.ErrDimensionMismatch) {
+		t.Fatalf("inner mismatch: err=%v, want ErrDimensionMismatch", err)
+	}
+	if err := tryMul(marray.NewDense(0, 0), marray.NewDense(0, 4)); !errors.Is(err, merr.ErrDimensionMismatch) {
+		t.Fatalf("empty factor: err=%v, want ErrDimensionMismatch", err)
+	}
+	p := e.Multiply(marray.RandomMonge(rng, 4, 4), marray.RandomMonge(rng, 4, 4))
+	tryWit := func(i, k int) (err error) {
+		defer merr.Catch(&err)
+		p.Witness(i, k)
+		return nil
+	}
+	if err := tryWit(4, 0); !errors.Is(err, merr.ErrDimensionMismatch) {
+		t.Fatalf("row overflow: err=%v, want ErrDimensionMismatch", err)
+	}
+	if err := tryWit(0, -1); !errors.Is(err, merr.ErrDimensionMismatch) {
+		t.Fatalf("negative col: err=%v, want ErrDimensionMismatch", err)
+	}
+}
+
+// TestIntoSliceTooShort pins the driver-level answer-slice check both
+// Into methods gained for the engine.
+func TestIntoSliceTooShort(t *testing.T) {
+	for _, bk := range backends {
+		d := batch.NewWithBackend(pram.CRCW, bk.be)
+		a := marray.RandomMonge(rand.New(rand.NewSource(1)), 8, 8)
+		try := func(f func()) (err error) {
+			defer merr.Catch(&err)
+			f()
+			return nil
+		}
+		short := make([]int, 4)
+		if err := try(func() { d.RowMinimaInto(a, short) }); !errors.Is(err, merr.ErrDimensionMismatch) {
+			t.Fatalf("%s RowMinimaInto short: err=%v, want ErrDimensionMismatch", bk.name, err)
+		}
+		if err := try(func() { d.StaircaseRowMinimaInto(a, short) }); !errors.Is(err, merr.ErrDimensionMismatch) {
+			t.Fatalf("%s StaircaseRowMinimaInto short: err=%v, want ErrDimensionMismatch", bk.name, err)
+		}
+		d.Close()
+	}
+}

@@ -115,9 +115,18 @@ func checkCtx(ctx context.Context) {
 // (nil means the shared exec.Default pool); ctx, when non-nil, cancels
 // between row blocks with merr.ErrCanceled.
 func RowMinima(ctx context.Context, pool *exec.Pool, a marray.Matrix) []int {
+	out := make([]int, a.Rows())
+	RowMinimaInto(ctx, pool, a, out)
+	return out
+}
+
+// RowMinimaInto is RowMinima writing into a caller-provided slice of
+// length >= a.Rows(), so query streams (the min-plus multiplication
+// engine runs one per output row) allocate nothing per call.
+func RowMinimaInto(ctx context.Context, pool *exec.Pool, a marray.Matrix, out []int) {
 	m, n := a.Rows(), a.Cols()
 	checkShape("RowMinima", m, n)
-	out := make([]int, m)
+	checkOut("RowMinima", len(out), m)
 	solve := func(lo, hi int) {
 		smawk.RowMinimaInto(marray.RowBand(a, lo, hi-lo), out[lo:hi])
 	}
@@ -125,16 +134,23 @@ func RowMinima(ctx context.Context, pool *exec.Pool, a marray.Matrix) []int {
 		solve = func(lo, hi int) { scanDenseMinima(d, lo, hi, out) }
 	}
 	runRows(ctx, pool, a, m, n, false, solve, out)
-	return out
 }
 
 // StaircaseRowMinima returns the leftmost finite row minima of the
 // staircase-Monge array a (-1 for fully blocked rows), index-exact with
 // the PRAM backend.
 func StaircaseRowMinima(ctx context.Context, pool *exec.Pool, a marray.Matrix) []int {
+	out := make([]int, a.Rows())
+	StaircaseRowMinimaInto(ctx, pool, a, out)
+	return out
+}
+
+// StaircaseRowMinimaInto is StaircaseRowMinima writing into a
+// caller-provided slice of length >= a.Rows().
+func StaircaseRowMinimaInto(ctx context.Context, pool *exec.Pool, a marray.Matrix, out []int) {
 	m, n := a.Rows(), a.Cols()
 	checkShape("StaircaseRowMinima", m, n)
-	out := make([]int, m)
+	checkOut("StaircaseRowMinima", len(out), m)
 	solve := func(lo, hi int) {
 		smawk.StaircaseRowMinimaInto(marray.RowBand(a, lo, hi-lo), out[lo:hi])
 	}
@@ -142,7 +158,15 @@ func StaircaseRowMinima(ctx context.Context, pool *exec.Pool, a marray.Matrix) [
 		solve = func(lo, hi int) { scanDenseStairMinima(d, lo, hi, out) }
 	}
 	runRows(ctx, pool, a, m, n, true, solve, out)
-	return out
+}
+
+// checkOut rejects an answer slice shorter than the row count with the
+// same typed error the shape checks use.
+func checkOut(what string, have, want int) {
+	if have < want {
+		merr.Throwf(merr.ErrDimensionMismatch,
+			"native: %s answer slice holds %d rows, query has %d", what, have, want)
+	}
 }
 
 // TubeMaxima solves the tube-maxima problem for the Monge-composite

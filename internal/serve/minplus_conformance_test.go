@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"monge/internal/batch"
+	"monge/internal/marray"
+	"monge/internal/merr"
+	"monge/internal/minplus"
+	"monge/internal/pram"
+)
+
+// TestPoolMinPlusConformance serves (min,+) products on both backends
+// and checks every answer value- and witness-exact against the naive
+// oracle, concurrently enough to exercise shard-private engines.
+func TestPoolMinPlusConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	type job struct {
+		a, b marray.Matrix
+	}
+	jobs := []job{
+		{marray.RandomMonge(rng, 20, 24), marray.RandomMonge(rng, 24, 16)},
+		{marray.RandomMongeInt(rng, 15, 15, 2), marray.RandomMongeInt(rng, 15, 15, 2)},
+		{marray.RandomMongeInt(rng, 18, 22, 3), marray.RandomStaircaseMongeInt(rng, 22, 13, 3)},
+		{marray.RandomMonge(rng, 1, 31), marray.RandomMonge(rng, 31, 9)},
+	}
+	for _, be := range []struct {
+		name string
+		bk   batch.Backend
+	}{{"pram", batch.BackendPRAM}, {"native", batch.BackendNative}} {
+		t.Run(be.name, func(t *testing.T) {
+			p := New(pram.CRCW, Options{Workers: 3, Backend: be.bk})
+			defer p.Close()
+			tickets := make([]*Ticket, len(jobs))
+			for i, j := range jobs {
+				tk, err := p.Submit(Query{Kind: MinPlus, A: j.a, B: j.b})
+				if err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+				tickets[i] = tk
+			}
+			for i, tk := range tickets {
+				res := tk.Result()
+				if res.Err != nil {
+					t.Fatalf("job %d: %v", i, res.Err)
+				}
+				want, wit := minplus.MultiplyNaive(jobs[i].a, jobs[i].b)
+				for r := 0; r < want.Rows(); r++ {
+					for k := 0; k < want.Cols(); k++ {
+						gv, wv := res.Prod.At(r, k), want.At(r, k)
+						if gv != wv && !(math.IsInf(gv, 1) && math.IsInf(wv, 1)) {
+							t.Fatalf("job %d C[%d][%d]=%g, naive %g", i, r, k, gv, wv)
+						}
+						if gj := res.Prod.Witness(r, k); gj != wit[r][k] {
+							t.Fatalf("job %d witness[%d][%d]=%d, naive %d", i, r, k, gj, wit[r][k])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPoolMLinkPathConformance serves M-link path queries against the
+// reference DP, plus the no-path and malformed-query contracts.
+func TestPoolMLinkPathConformance(t *testing.T) {
+	const n = 26
+	rng := rand.New(rand.NewSource(31))
+	d := marray.RandomMongeInt(rng, n+1, n+1, 4)
+	w := minplus.Weight(func(i, j int) float64 { return d.At(i, j) })
+	p := New(pram.CRCW, Options{Workers: 2, Backend: batch.BackendNative})
+	defer p.Close()
+	for _, M := range []int{1, 3, 7, n} {
+		tk, err := p.Submit(Query{Kind: MLinkPath, W: w, N: n, M: M})
+		if err != nil {
+			t.Fatalf("submit M=%d: %v", M, err)
+		}
+		res := tk.Result()
+		if res.Err != nil {
+			t.Fatalf("M=%d: %v", M, res.Err)
+		}
+		wantCost, _ := minplus.MLinkBrute(n, w, M)
+		if math.Abs(res.Cost-wantCost) > 1e-6 {
+			t.Fatalf("M=%d cost %g, brute %g", M, res.Cost, wantCost)
+		}
+		if len(res.Idx) != M+1 || res.Idx[0] != 0 || res.Idx[M] != n {
+			t.Fatalf("M=%d path %v", M, res.Idx)
+		}
+	}
+	// No path: cost +Inf, nil path, no error.
+	tk, err := p.Submit(Query{Kind: MLinkPath, W: w, N: 4, M: 5})
+	if err != nil {
+		t.Fatalf("submit no-path: %v", err)
+	}
+	if res := tk.Result(); res.Err != nil || !math.IsInf(res.Cost, 1) || res.Idx != nil {
+		t.Fatalf("no-path: %+v", res)
+	}
+	// Malformed queries resolve on the ticket with the typed error.
+	tk, err = p.Submit(Query{Kind: MLinkPath, N: 4, M: 2})
+	if err != nil {
+		t.Fatalf("submit nil-weight: %v", err)
+	}
+	if res := tk.Result(); !errors.Is(res.Err, merr.ErrDimensionMismatch) {
+		t.Fatalf("nil weight: err=%v, want ErrDimensionMismatch", res.Err)
+	}
+	tk, err = p.Submit(Query{Kind: MinPlus, A: marray.RandomMonge(rng, 3, 4), B: marray.RandomMonge(rng, 5, 3)})
+	if err != nil {
+		t.Fatalf("submit mismatched: %v", err)
+	}
+	if res := tk.Result(); !errors.Is(res.Err, merr.ErrDimensionMismatch) {
+		t.Fatalf("inner mismatch: err=%v, want ErrDimensionMismatch", res.Err)
+	}
+}

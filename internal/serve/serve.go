@@ -55,6 +55,7 @@ import (
 	"monge/internal/marray"
 	"monge/internal/merr"
 	"monge/internal/mindex"
+	"monge/internal/minplus"
 	"monge/internal/obs"
 	"monge/internal/pram"
 )
@@ -97,32 +98,47 @@ const (
 	// RangeRowMinima asks a prebuilt Index for the leftmost row-minima
 	// columns of rows R1..R2 (inclusive).
 	RangeRowMinima
+	// MinPlus asks for the Monge (min,+) product A ⊗ B as a run-sparse
+	// minplus.Product.
+	MinPlus
+	// MLinkPath asks for the cheapest exactly-M-link path 0 -> N under
+	// the Monge link weight W.
+	MLinkPath
 )
 
 // Query is one unit of work for a Pool: a problem kind plus its input
 // (A for the row problems, C for the tube problem, Index plus the
-// R1/R2/C1/C2 ranges for the index-backed point queries).
+// R1/R2/C1/C2 ranges for the index-backed point queries, A and B for
+// the (min,+) product, N/W/M for the M-link path).
 type Query struct {
 	Kind  Kind
 	A     marray.Matrix
+	B     marray.Matrix // second (min,+) factor
 	C     marray.Composite
 	Index *mindex.Index
+	W     minplus.Weight // M-link link weight over nodes 0..N
+	N     int            // M-link node span
+	M     int            // M-link link count
 	R1    int
 	R2    int
 	C1    int
 	C2    int
 }
 
-// Result is one query's answer. Idx is set for the row problems and
-// RangeRowMinima; TubeJ and TubeV for the tube problem; Pos for
-// SubmatrixMax. Err carries any typed condition the simulation threw
-// (merr.ErrCanceled, ErrDeadlineExceeded, fault-path errors, ...); the
-// answer fields are zero when Err is non-nil.
+// Result is one query's answer. Idx is set for the row problems,
+// RangeRowMinima, and MLinkPath (the node sequence; nil when no path
+// exists); TubeJ and TubeV for the tube problem; Pos for SubmatrixMax;
+// Prod for MinPlus; Cost for MLinkPath. Err carries any typed
+// condition the simulation threw (merr.ErrCanceled,
+// ErrDeadlineExceeded, fault-path errors, ...); the answer fields are
+// zero when Err is non-nil.
 type Result struct {
 	Idx   []int
 	TubeJ [][]int
 	TubeV [][]float64
 	Pos   mindex.Pos
+	Prod  *minplus.Product
+	Cost  float64
 	Err   error
 }
 
@@ -569,6 +585,9 @@ func (p *Pool) worker(id int) {
 		d.SetFaults(p.opt.Faults)
 	}
 	defer d.Close()
+	// The worker's (min,+) engine borrows its driver, so the engine's
+	// witness scratch and the driver's machines stay shard-private.
+	eng := minplus.NewWith(d)
 	for t := range p.queue {
 		if p.obsC != nil {
 			p.obsC.QueueDepth.Store(int64(len(p.queue)))
@@ -581,7 +600,7 @@ func (p *Pool) worker(id int) {
 				time.Sleep(slow)
 			}
 		}
-		t.res = p.resolve(d, id, t)
+		t.res = p.resolve(d, eng, id, t)
 		p.served[id].add(1)
 		if p.obsC != nil {
 			p.obsC.QueriesServed.Add(1)
@@ -596,9 +615,9 @@ func (p *Pool) worker(id int) {
 // and a query aborted mid-run by its own context resolves with the
 // deadline/cancel classification instead of the machine's raw
 // cancellation error.
-func (p *Pool) resolve(d *batch.Driver, id int, t *Ticket) Result {
+func (p *Pool) resolve(d *batch.Driver, eng *minplus.Engine, id int, t *Ticket) Result {
 	if t.ctx == nil {
-		return p.answer(d, id, t.q)
+		return p.answer(d, eng, id, t.q)
 	}
 	if t.ctx.Err() != nil {
 		if p.obsC != nil {
@@ -611,7 +630,7 @@ func (p *Pool) resolve(d *batch.Driver, id int, t *Ticket) Result {
 		runCtx, release = mergeCtx(p.opt.Context, t.ctx)
 	}
 	d.SetContext(runCtx)
-	res := p.answer(d, id, t.q)
+	res := p.answer(d, eng, id, t.q)
 	release()
 	d.SetContext(p.opt.Context)
 	if res.Err != nil && t.ctx.Err() != nil && errors.Is(res.Err, merr.ErrCanceled) {
@@ -622,7 +641,7 @@ func (p *Pool) resolve(d *batch.Driver, id int, t *Ticket) Result {
 
 // answer runs one query on the shard's driver, converting any thrown
 // merr condition into the ticket's error.
-func (p *Pool) answer(d *batch.Driver, id int, q Query) (res Result) {
+func (p *Pool) answer(d *batch.Driver, eng *minplus.Engine, id int, q Query) (res Result) {
 	defer merr.Catch(&res.Err)
 	switch q.Kind {
 	case RowMinima:
@@ -642,6 +661,17 @@ func (p *Pool) answer(d *batch.Driver, id int, q Query) (res Result) {
 			merr.Throwf(merr.ErrDimensionMismatch, "serve: RangeRowMinima query without an index")
 		}
 		res.Idx = q.Index.RangeRowMinima(q.R1, q.R2)
+	case MinPlus:
+		// The factors bypass the shard tile caches deliberately: the
+		// returned Product retains them for on-demand At/Witness
+		// evaluation, and a cache view escaping to the caller would race
+		// with this worker's next query.
+		res.Prod = eng.Multiply(q.A, q.B)
+	case MLinkPath:
+		if q.W == nil {
+			merr.Throwf(merr.ErrDimensionMismatch, "serve: MLinkPath query without a weight function")
+		}
+		res.Cost, res.Idx = eng.MLinkPath(q.N, q.W, q.M)
 	default:
 		merr.Throwf(ErrUnknownKind, "serve: unknown query kind %d", int(q.Kind))
 	}

@@ -60,6 +60,7 @@ import (
 	"monge/internal/marray"
 	"monge/internal/merr"
 	"monge/internal/mindex"
+	"monge/internal/minplus"
 	"monge/internal/pram"
 	"monge/internal/serve"
 	"monge/internal/smawk"
@@ -484,6 +485,108 @@ func (b *BatchDriver) RowMinimaStats(a Matrix) (idx []int, st QueryStats, err er
 	return idx, st, err
 }
 
+// --- Monge (min,+) multiplication and M-link paths --------------------------
+
+// MinPlusProduct is the run-sparse result of a Monge (min,+)
+// multiplication C = A ⊗ B, C[i][k] = min_j A[i][j] + B[j][k]: it
+// stores only the columns where the witness (the argmin row of B)
+// changes, recomputes entries on demand, and is itself a Matrix — so
+// products chain without ever materializing an n x n value array. See
+// internal/minplus for the representation.
+type MinPlusProduct = minplus.Product
+
+// LinkWeight is a link weight w(i, j) for 0 <= i < j <= n over the
+// complete DAG on nodes 0..n, required to satisfy the Monge (concave
+// quadrangle) inequality w(i,j) + w(i',j') <= w(i,j') + w(i',j) for
+// i < i' < j < j'.
+type LinkWeight = minplus.Weight
+
+// minPlusScreen validates one (min,+) factor with the sampled
+// validator matching its blocking structure: staircase-Monge for
+// factors carrying blocked entries (probed like BuildIndex), plain
+// Monge otherwise.
+func minPlusScreen(a Matrix) error {
+	in := stairProbe(a)
+	if _, stair := in.(Staircase); stair {
+		return marray.CheckStaircaseMongeSampled(in)
+	}
+	return marray.CheckMongeSampled(in)
+}
+
+// checkLinkWeightSampled screens an M-link weight with O(n) deterministic
+// adjacent-quadruple probes of the concave quadrangle inequality; like
+// the matrix screens it never rejects a valid weight.
+func checkLinkWeightSampled(n int, w LinkWeight) error {
+	if w == nil {
+		return merr.Errorf(merr.ErrDimensionMismatch, "monge: nil link weight")
+	}
+	step := n / 32
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i+3 <= n; i += step {
+		for _, j := range [3]int{i + 2, (i + 2 + n) / 2, n - 1} {
+			if j < i+2 || j+1 > n {
+				continue
+			}
+			if w(i, j)+w(i+1, j+1) > w(i, j+1)+w(i+1, j) {
+				return merr.Errorf(merr.ErrNotMonge,
+					"monge: link weight violates the Monge inequality at quadruple (%d,%d,%d,%d)", i, i+1, j, j+1)
+			}
+		}
+	}
+	return nil
+}
+
+// MinPlus returns the Monge (min,+) product A ⊗ B — A m x q, B q x r,
+// both Monge or staircase-Monge — as a run-sparse MinPlusProduct, in
+// O(m(q+r)) evaluations via batched SMAWK row-minima queries against
+// the naive O(mqr). Factors failing the sampled screens return
+// ErrNotMonge / ErrNotStaircase; shape mismatches ErrDimensionMismatch.
+func MinPlus(a, b Matrix) (p *MinPlusProduct, err error) {
+	if err = minPlusScreen(a); err != nil {
+		return nil, err
+	}
+	if err = minPlusScreen(b); err != nil {
+		return nil, err
+	}
+	err = catchInto(func() { p = MustMinPlus(a, b) })
+	return p, err
+}
+
+// MustMinPlus is MinPlus without the validation screens, panicking with
+// the typed error on conditions detected during the computation.
+func MustMinPlus(a, b Matrix) *MinPlusProduct {
+	e := minplus.New(batch.BackendNative)
+	defer e.Close()
+	return e.Multiply(a, b)
+}
+
+// MLinkPath returns the cost of the cheapest path from node 0 to node
+// n using exactly M forward links under the Monge weight w, and its
+// node sequence (length M+1). The solver picks between repeated
+// ⊗-squaring of the link matrix and a Lagrangian (λ-parametrized)
+// search over the least-weight subsequence DP; both are exact. No
+// M-link path (M > n) yields (+Inf, nil, nil); a weight failing the
+// sampled quadrangle screen returns ErrNotMonge.
+func MLinkPath(n int, w LinkWeight, M int) (cost float64, path []int, err error) {
+	if err = checkLinkWeightSampled(n, w); err != nil {
+		return 0, nil, err
+	}
+	err = catchInto(func() { cost, path = MustMLinkPath(n, w, M) })
+	if err != nil {
+		return 0, nil, err
+	}
+	return cost, path, nil
+}
+
+// MustMLinkPath is MLinkPath without the validation screen.
+func MustMLinkPath(n int, w LinkWeight, M int) (float64, []int) {
+	e := minplus.New(batch.BackendNative)
+	defer e.Close()
+	return e.MLinkPath(n, w, M)
+}
+
 // --- Concurrent serving -----------------------------------------------------
 
 // ErrPoolClosed reports a DriverPool submission after Close.
@@ -654,21 +757,7 @@ func BuildIndex(a Matrix) (*Index, error) {
 // do not carry the Staircase interface are probed for +Inf blocking, so
 // dense staircase matrices build the staircase solvers too.
 func BuildIndexOpts(a Matrix, opt IndexOpts) (ix *Index, err error) {
-	in := a
-	if _, ok := a.(Staircase); !ok && a.Rows() > 0 && a.Cols() > 0 {
-		m, n := a.Rows(), a.Cols()
-		bound := make([]int, m)
-		blocked := false
-		for i := range bound {
-			bound[i] = marray.BoundaryOf(a, i)
-			if bound[i] < n {
-				blocked = true
-			}
-		}
-		if blocked {
-			in = marray.StairFunc{M: m, N: n, F: a.At, Bound: func(i int) int { return bound[i] }}
-		}
-	}
+	in := stairProbe(a)
 	if _, stair := in.(Staircase); stair {
 		err = marray.CheckStaircaseMongeSampled(in)
 	} else {
@@ -682,6 +771,29 @@ func BuildIndexOpts(a Matrix, opt IndexOpts) (ix *Index, err error) {
 		return nil, err
 	}
 	return ix, nil
+}
+
+// stairProbe returns a as-is when it already implements Staircase or
+// carries no blocked entries; otherwise (a dense staircase matrix) it
+// probes every row's blocked boundary and wraps a as a StairFunc, so
+// the staircase validators and solvers see the structure they expect.
+func stairProbe(a Matrix) Matrix {
+	if _, ok := a.(Staircase); ok || a.Rows() <= 0 || a.Cols() <= 0 {
+		return a
+	}
+	m, n := a.Rows(), a.Cols()
+	bound := make([]int, m)
+	blocked := false
+	for i := range bound {
+		bound[i] = marray.BoundaryOf(a, i)
+		if bound[i] < n {
+			blocked = true
+		}
+	}
+	if !blocked {
+		return a
+	}
+	return marray.StairFunc{M: m, N: n, F: a.At, Bound: func(i int) int { return bound[i] }}
 }
 
 // IndexSubmatrixMax answers a submatrix-maximum query on the calling
@@ -749,6 +861,50 @@ func (dp *DriverPool) RangeRowMinimaCtx(ctx context.Context, ix *Index, r1, r2 i
 	return dp.p.SubmitCtx(ctx, serve.Query{Kind: serve.RangeRowMinima, Index: ix, R1: r1, R2: r2})
 }
 
+// MinPlus submits a Monge (min,+) multiplication query; the ticket's
+// result carries the run-sparse product in Prod. The sampled screens
+// run on the calling goroutine, like every Submit-style method.
+func (dp *DriverPool) MinPlus(a, b Matrix) (*PoolTicket, error) {
+	if err := minPlusScreen(a); err != nil {
+		return nil, err
+	}
+	if err := minPlusScreen(b); err != nil {
+		return nil, err
+	}
+	return dp.p.Submit(serve.Query{Kind: serve.MinPlus, A: a, B: b})
+}
+
+// MinPlusCtx is MinPlus with a per-query context; see RowMinimaCtx for
+// the deadline semantics.
+func (dp *DriverPool) MinPlusCtx(ctx context.Context, a, b Matrix) (*PoolTicket, error) {
+	if err := minPlusScreen(a); err != nil {
+		return nil, err
+	}
+	if err := minPlusScreen(b); err != nil {
+		return nil, err
+	}
+	return dp.p.SubmitCtx(ctx, serve.Query{Kind: serve.MinPlus, A: a, B: b})
+}
+
+// MLinkPath submits an M-link path query; the ticket's result carries
+// the cost in Cost and the node sequence in Idx (nil when no M-link
+// path exists).
+func (dp *DriverPool) MLinkPath(n int, w LinkWeight, M int) (*PoolTicket, error) {
+	if err := checkLinkWeightSampled(n, w); err != nil {
+		return nil, err
+	}
+	return dp.p.Submit(serve.Query{Kind: serve.MLinkPath, W: w, N: n, M: M})
+}
+
+// MLinkPathCtx is MLinkPath with a per-query context; see RowMinimaCtx
+// for the deadline semantics.
+func (dp *DriverPool) MLinkPathCtx(ctx context.Context, n int, w LinkWeight, M int) (*PoolTicket, error) {
+	if err := checkLinkWeightSampled(n, w); err != nil {
+		return nil, err
+	}
+	return dp.p.SubmitCtx(ctx, serve.Query{Kind: serve.MLinkPath, W: w, N: n, M: M})
+}
+
 // Do runs one request through the pool's full load-discipline
 // lifecycle: admission gates (inflight cap, shedding, tenant quota),
 // the deadline carried by ctx, budgeted retries, and hedging when
@@ -783,6 +939,17 @@ func (dp *DriverPool) Do(ctx context.Context, req PoolRequest) PoolResult {
 		if err := checkIndex(q.Index, func() error { return q.Index.CheckRowRange(q.R1, q.R2) }); err != nil {
 			return PoolResult{Err: err}
 		}
+	case serve.MinPlus:
+		if err := minPlusScreen(req.Query.A); err != nil {
+			return PoolResult{Err: err}
+		}
+		if err := minPlusScreen(req.Query.B); err != nil {
+			return PoolResult{Err: err}
+		}
+	case serve.MLinkPath:
+		if err := checkLinkWeightSampled(req.Query.N, req.Query.W); err != nil {
+			return PoolResult{Err: err}
+		}
 	}
 	return dp.f.Do(ctx, req)
 }
@@ -813,6 +980,17 @@ func SubmatrixMaxRequest(ix *Index, r1, r2, c1, c2 int) PoolRequest {
 // call against a prebuilt index.
 func RangeRowMinimaRequest(ix *Index, r1, r2 int) PoolRequest {
 	return PoolRequest{Query: serve.Query{Kind: serve.RangeRowMinima, Index: ix, R1: r1, R2: r2}}
+}
+
+// MinPlusRequest builds the PoolRequest for a (min,+) multiplication
+// Do call.
+func MinPlusRequest(a, b Matrix) PoolRequest {
+	return PoolRequest{Query: serve.Query{Kind: serve.MinPlus, A: a, B: b}}
+}
+
+// MLinkPathRequest builds the PoolRequest for an M-link path Do call.
+func MLinkPathRequest(n int, w LinkWeight, M int) PoolRequest {
+	return PoolRequest{Query: serve.Query{Kind: serve.MLinkPath, W: w, N: n, M: M}}
 }
 
 // Front exposes the pool's admission front for callers that want the
